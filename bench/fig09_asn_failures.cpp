@@ -1,0 +1,64 @@
+// fig09_asn_failures — regenerates Figure 9: satisfied demand on ASN with 0,
+// 50, 100 or 200 link failures for NCFlow, POP, LP-top and Teal.
+//
+// Expected shape (paper): Teal routes substantially more demand than the
+// baselines under every failure count, and the ranking follows run times —
+// slow schemes keep dropping traffic on failed links while they recompute
+// (Teal +6-8% over LP-top, +15-18% over POP, +32-33% over NCFlow).
+#include <cstdio>
+
+#include "bench/common.h"
+
+using namespace teal;
+
+int main() {
+  bench::print_header("Figure 9", "satisfied demand under mass link failures on ASN");
+  auto inst = bench::make_instance("ASN");
+  const int n_trials = bench::fast_mode() ? 1 : 3;
+  const std::vector<std::string> schemes = {"NCFlow", "POP", "LP-top", "Teal"};
+
+  util::Table table({"scheme", "no failure", "50 failures", "100 failures", "200 failures"});
+  util::Table csv({"scheme", "n_failures", "satisfied_pct", "resolve_s_paper_eq"});
+  for (const auto& sname : schemes) {
+    std::unique_ptr<te::Scheme> scheme =
+        sname == "Teal" ? std::unique_ptr<te::Scheme>(bench::make_teal(*inst))
+                        : bench::make_baseline(sname, *inst);
+    // Per-scheme paper-anchored staleness (see common.h). Calibrate against
+    // one probe solve.
+    sim::OnlineConfig ocfg;
+    {
+      scheme->solve(inst->pb, inst->split.test.at(0));
+      ocfg.time_scale =
+          bench::scheme_time_scale(sname, inst->name, scheme->last_solve_seconds());
+    }
+    std::vector<std::string> row = {sname};
+    for (int n_failures : {0, 50, 100, 200}) {
+      std::vector<double> sat;
+      double resolve = 0.0;
+      for (int trial = 0; trial < n_trials; ++trial) {
+        const auto& tm = inst->split.test.at(trial % inst->split.test.size());
+        if (n_failures == 0) {
+          auto a = scheme->solve(inst->pb, tm);
+          sat.push_back(te::satisfied_demand_pct(inst->pb, tm, a));
+          resolve = scheme->last_solve_seconds();
+        } else {
+          auto failed = sim::sample_link_failures(
+              inst->pb.graph(), n_failures, 500 + static_cast<std::uint64_t>(trial));
+          auto res = sim::eval_failure_reaction(*scheme, inst->pb, tm, failed, ocfg);
+          sat.push_back(res.satisfied_pct);
+          resolve = res.resolve_seconds;
+        }
+      }
+      row.push_back(util::fmt(util::mean(sat), 1) + "%");
+      csv.add_row({sname, std::to_string(n_failures), util::fmt(util::mean(sat), 2),
+                   util::fmt(resolve * ocfg.time_scale, 1)});
+    }
+    table.add_row(row);
+    std::printf("  %s done\n", sname.c_str());
+  }
+  std::printf("\n%s", table.to_string().c_str());
+  std::printf("\nNo retraining is performed for any failure count — Teal generalizes "
+              "across transient capacity changes (§5.3).\n");
+  csv.write_csv(bench::out_dir() + "/fig09_asn_failures.csv");
+  return 0;
+}

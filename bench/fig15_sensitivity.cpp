@@ -1,0 +1,75 @@
+// fig15_sensitivity — regenerates Figure 15: sensitivity of Teal's satisfied
+// demand to (a) the number of FlowGNN layers (4/6/8/10), (b) the final
+// embedding dimension (6/12/24), and (c) the number of dense layers in the
+// policy network (1/2/4).
+//
+// Expected shape (paper, on ASN): 4 -> 6 layers helps (+3%), diminishing
+// returns beyond 6; larger embeddings and deeper policies change little —
+// FlowGNN already carries the capacity-demand structure.
+#include <cstdio>
+
+#include "bench/common.h"
+
+using namespace teal;
+
+namespace {
+
+double eval_config(bench::Instance& inst, const core::TealModelConfig& mc,
+                   const std::string& tag, int n_test) {
+  core::TealSchemeConfig cfg;
+  cfg.model = mc;
+  core::TealTrainOptions opts;
+  opts.coma.epochs = bench::fast_mode() ? 1 : 3;
+  opts.coma.lr = 3e-3;
+  opts.cache_path = bench::model_cache_path(inst.name + "_sens_" + tag,
+                                            te::Objective::kTotalFlow);
+  auto scheme = core::make_teal_scheme(inst.pb, inst.split.train, cfg, opts);
+  std::vector<double> sat;
+  for (int t = 0; t < n_test; ++t) {
+    const auto& tm = inst.split.test.at(t);
+    auto a = scheme->solve(inst.pb, tm);
+    sat.push_back(te::satisfied_demand_pct(inst.pb, tm, a));
+  }
+  return util::mean(sat);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Figure 15", "sensitivity to Teal's hyperparameters (ASN)");
+  auto inst = bench::make_instance("ASN");
+  const int n_test = bench::fast_mode() ? 2 : 3;
+  util::Table table({"axis", "setting", "satisfied (%)"});
+
+  // (a) number of FlowGNN blocks.
+  for (int layers : {4, 6, 8, 10}) {
+    core::TealModelConfig mc;
+    mc.gnn.n_blocks = layers;
+    double sat = eval_config(*inst, mc, "L" + std::to_string(layers), n_test);
+    table.add_row({"FlowGNN layers", std::to_string(layers), util::fmt(sat, 1)});
+    std::printf("  layers=%d -> %.1f%%\n", layers, sat);
+  }
+  // (b) final embedding dimension (6 blocks).
+  for (int dim : {6, 12, 24}) {
+    core::TealModelConfig mc;
+    mc.gnn.n_blocks = 6;
+    mc.gnn.final_dim = dim;
+    double sat = eval_config(*inst, mc, "E" + std::to_string(dim), n_test);
+    table.add_row({"embedding dim", std::to_string(dim), util::fmt(sat, 1)});
+    std::printf("  embed=%d -> %.1f%%\n", dim, sat);
+  }
+  // (c) dense layers in the policy network.
+  for (int dense : {1, 2, 4}) {
+    core::TealModelConfig mc;
+    mc.policy.n_hidden_layers = dense;
+    double sat = eval_config(*inst, mc, "D" + std::to_string(dense), n_test);
+    table.add_row({"policy dense layers", std::to_string(dense), util::fmt(sat, 1)});
+    std::printf("  dense=%d -> %.1f%%\n", dense, sat);
+  }
+
+  std::printf("\n%s", table.to_string().c_str());
+  std::printf("\nPaper reference: 86.3%% at 4 layers -> 89.4%% at 6, flat beyond;\n"
+              "embedding dims 12/24 and extra dense layers change little.\n");
+  table.write_csv(bench::out_dir() + "/fig15_sensitivity.csv");
+  return 0;
+}

@@ -1,0 +1,108 @@
+// micro_kernels — google-benchmark microbenchmarks of the computational
+// kernels behind Teal's speed claims: FlowGNN forward pass, one ADMM
+// iteration, one PDHG sweep, Yen's k-shortest-paths, and feasibility repair.
+//
+// These quantify the per-iteration asymmetry the paper exploits: the
+// NN + ADMM kernels are batched/parallel and take microseconds-to-
+// milliseconds, while the LP engine needs thousands of its (cheap) sweeps.
+#include <benchmark/benchmark.h>
+
+#include "core/admm.h"
+#include "core/model.h"
+#include "lp/path_lp.h"
+#include "te/objective.h"
+#include "topo/topology.h"
+#include "traffic/traffic.h"
+
+using namespace teal;
+
+namespace {
+
+struct Fixture {
+  std::unique_ptr<te::Problem> pb;
+  traffic::Trace trace;
+
+  explicit Fixture(const std::string& topo, int n_demands) {
+    auto g = topo::make_topology(topo);
+    auto demands = traffic::sample_demands(g, n_demands, 7);
+    pb = std::make_unique<te::Problem>(std::move(g), std::move(demands), 4);
+    traffic::TraceConfig cfg;
+    cfg.n_intervals = 3;
+    trace = traffic::generate_trace(*pb, cfg);
+    traffic::calibrate_capacities(*pb, trace, 1.6);
+  }
+};
+
+Fixture& swan() {
+  static Fixture f("SWAN", 2000);
+  return f;
+}
+
+void BM_FlowGnnForward(benchmark::State& state) {
+  auto& f = swan();
+  core::TealModel model({}, f.pb->k_paths());
+  for (auto _ : state) {
+    auto fwd = model.forward(*f.pb, f.trace.at(0));
+    benchmark::DoNotOptimize(fwd.logits.data().data());
+  }
+}
+BENCHMARK(BM_FlowGnnForward)->Unit(benchmark::kMillisecond);
+
+void BM_AdmmFineTune5Iters(benchmark::State& state) {
+  auto& f = swan();
+  core::AdmmConfig cfg;
+  cfg.iterations = 5;
+  core::Admm admm(*f.pb, cfg);
+  auto caps = f.pb->capacities();
+  for (auto _ : state) {
+    auto a = f.pb->shortest_path_allocation();
+    admm.fine_tune(f.trace.at(0), caps, a);
+    benchmark::DoNotOptimize(a.split.data());
+  }
+}
+BENCHMARK(BM_AdmmFineTune5Iters)->Unit(benchmark::kMillisecond);
+
+void BM_PdhgHundredSweeps(benchmark::State& state) {
+  auto& f = swan();
+  for (auto _ : state) {
+    lp::PdhgOptions opt;
+    opt.max_iterations = 100;
+    opt.check_every = 1000;  // no early exit: measure raw sweep cost
+    lp::FlowLpInfo info;
+    auto a = lp::solve_flow_lp(*f.pb, f.trace.at(0), {}, opt, &info);
+    benchmark::DoNotOptimize(a.split.data());
+  }
+}
+BENCHMARK(BM_PdhgHundredSweeps)->Unit(benchmark::kMillisecond);
+
+void BM_YenFourShortestPaths(benchmark::State& state) {
+  auto g = topo::make_uscarrier_like();
+  for (auto _ : state) {
+    auto paths = topo::yen_ksp(g, 0, g.num_nodes() - 1, 4);
+    benchmark::DoNotOptimize(paths.data());
+  }
+}
+BENCHMARK(BM_YenFourShortestPaths)->Unit(benchmark::kMillisecond);
+
+void BM_FeasibilityRepair(benchmark::State& state) {
+  auto& f = swan();
+  auto sp = f.pb->shortest_path_allocation();
+  for (auto _ : state) {
+    auto a = te::repair_to_feasible(*f.pb, f.trace.at(0), sp);
+    benchmark::DoNotOptimize(a.split.data());
+  }
+}
+BENCHMARK(BM_FeasibilityRepair)->Unit(benchmark::kMillisecond);
+
+void BM_TotalFeasibleFlow(benchmark::State& state) {
+  auto& f = swan();
+  auto sp = f.pb->shortest_path_allocation();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(te::total_feasible_flow(*f.pb, f.trace.at(0), sp));
+  }
+}
+BENCHMARK(BM_TotalFeasibleFlow)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

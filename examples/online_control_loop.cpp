@@ -1,0 +1,61 @@
+// online_control_loop — the 5-minute TE control loop of Figure 1, simulated.
+//
+// Demonstrates the systems point of the paper: the *wall-clock* cost of the
+// solver feeds back into allocation quality because routes stay stale while
+// the solver runs. We simulate a slow solver (an artificially time-scaled
+// LP) against Teal on a Kdl-like topology and print the per-interval
+// satisfied demand, reproducing Figure 18's dynamics in miniature.
+#include <cstdio>
+
+#include "baselines/lp_schemes.h"
+#include "core/teal_scheme.h"
+#include "sim/online.h"
+#include "topo/topology.h"
+#include "traffic/traffic.h"
+
+using namespace teal;
+
+int main() {
+  topo::Graph g = topo::make_kdl_like();
+  te::Problem problem(g, traffic::sample_demands(g, 1500, 11), 4);
+  traffic::TraceConfig tcfg;
+  tcfg.n_intervals = 40;
+  traffic::Trace trace = traffic::generate_trace(problem, tcfg);
+  traffic::calibrate_capacities_to_satisfied(problem, trace, 72.0);
+  auto split = traffic::split_trace(trace);
+
+  core::TealSchemeConfig cfg;
+  core::TealTrainOptions opts;
+  opts.coma.epochs = 5;
+  opts.coma.lr = 3e-3;
+  std::printf("training Teal...\n");
+  auto teal_scheme = core::make_teal_scheme(problem, split.train, cfg, opts);
+  baselines::LpAllScheme lp;
+
+  // Online config: Teal's measured time counts as-is; the LP's measured time
+  // is scaled so its median matches the paper's full-scale 585 s on Kdl.
+  sim::OnlineConfig teal_cfg;  // time_scale 1.0
+  lp.solve(problem, split.test.at(0));
+  sim::OnlineConfig lp_cfg;
+  lp_cfg.time_scale = 585.0 / std::max(1e-9, lp.last_solve_seconds());
+
+  auto teal_res = sim::run_online(*teal_scheme, problem, split.test, teal_cfg);
+  auto lp_res = sim::run_online(lp, problem, split.test, lp_cfg);
+
+  std::printf("\ninterval |  Teal sat%%  |  LP-all sat%% (585s/solve at paper scale)\n");
+  for (int t = 0; t < split.test.size(); ++t) {
+    std::printf("   %2d    |   %5.1f%%%s   |   %5.1f%%%s\n", t,
+                teal_res.intervals[static_cast<std::size_t>(t)].satisfied_pct,
+                teal_res.intervals[static_cast<std::size_t>(t)].started_solve ? "*" : " ",
+                lp_res.intervals[static_cast<std::size_t>(t)].satisfied_pct,
+                lp_res.intervals[static_cast<std::size_t>(t)].started_solve ? "*" : " ");
+  }
+  std::printf("\n('*' = a new computation started that interval)\n");
+  std::printf("mean satisfied: Teal %.1f%% vs LP-all %.1f%%.\n",
+              teal_res.mean_satisfied_pct, lp_res.mean_satisfied_pct);
+  std::printf("The LP recomputes only every other interval (585 s > the 5-minute\n"
+              "budget) and serves the gaps with stale routes; Teal refreshes every\n"
+              "interval — §5.2's argument for fast near-optimal solvers. How much\n"
+              "staleness costs depends on how fast demands drift between intervals.\n");
+  return 0;
+}

@@ -1,0 +1,128 @@
+#include "analysis/tsne.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace teal::analysis {
+
+std::vector<std::array<double, 2>> tsne_2d(const std::vector<std::vector<double>>& points,
+                                           const TsneConfig& cfg) {
+  const std::size_t n = points.size();
+  if (n == 0) return {};
+  const std::size_t dim = points[0].size();
+  for (const auto& p : points) {
+    if (p.size() != dim) throw std::invalid_argument("tsne_2d: ragged input");
+  }
+
+  // Pairwise squared distances.
+  std::vector<double> d2(n * n, 0.0);
+  util::ThreadPool::global().parallel_for(n, [&](std::size_t i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::size_t c = 0; c < dim; ++c) {
+        double d = points[i][c] - points[j][c];
+        acc += d * d;
+      }
+      d2[i * n + j] = acc;
+    }
+  });
+
+  // Per-point precision via binary search on the perplexity.
+  std::vector<double> p(n * n, 0.0);
+  const double log_perp = std::log(std::max(2.0, cfg.perplexity));
+  util::ThreadPool::global().parallel_for(n, [&](std::size_t i) {
+    double beta_lo = 1e-20, beta_hi = 1e20, beta = 1.0;
+    for (int iter = 0; iter < 50; ++iter) {
+      double sum = 0.0, h = 0.0;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (j == i) continue;
+        double pij = std::exp(-beta * d2[i * n + j]);
+        sum += pij;
+        h += beta * d2[i * n + j] * pij;
+      }
+      if (sum <= 1e-300) {
+        beta_hi = beta;
+        beta = 0.5 * (beta_lo + beta_hi);
+        continue;
+      }
+      double entropy = std::log(sum) + h / sum;  // Shannon entropy in nats
+      if (std::abs(entropy - log_perp) < 1e-5) break;
+      if (entropy > log_perp) {
+        beta_lo = beta;
+        beta = beta_hi >= 1e19 ? beta * 2.0 : 0.5 * (beta_lo + beta_hi);
+      } else {
+        beta_hi = beta;
+        beta = beta_lo <= 1e-19 ? beta / 2.0 : 0.5 * (beta_lo + beta_hi);
+      }
+    }
+    double sum = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j != i) sum += std::exp(-beta * d2[i * n + j]);
+    }
+    sum = std::max(sum, 1e-300);
+    for (std::size_t j = 0; j < n; ++j) {
+      p[i * n + j] = j == i ? 0.0 : std::exp(-beta * d2[i * n + j]) / sum;
+    }
+  });
+
+  // Symmetrize.
+  std::vector<double> pij(n * n, 0.0);
+  double psum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      pij[i * n + j] = (p[i * n + j] + p[j * n + i]) / (2.0 * static_cast<double>(n));
+      psum += pij[i * n + j];
+    }
+  }
+  for (double& v : pij) v = std::max(v / std::max(psum, 1e-300), 1e-12);
+
+  // Gradient descent on 2-D embedding.
+  util::Rng rng(cfg.seed);
+  std::vector<std::array<double, 2>> y(n), vel(n, {0.0, 0.0}), grad(n);
+  for (auto& yi : y) yi = {rng.normal(0.0, 1e-4), rng.normal(0.0, 1e-4)};
+
+  std::vector<double> qnum(n * n, 0.0);
+  const int exag_until = cfg.n_iterations / 4;
+  for (int it = 0; it < cfg.n_iterations; ++it) {
+    const double exag = it < exag_until ? cfg.early_exaggeration : 1.0;
+    double qsum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        if (i == j) {
+          qnum[i * n + j] = 0.0;
+          continue;
+        }
+        double dx = y[i][0] - y[j][0], dy = y[i][1] - y[j][1];
+        qnum[i * n + j] = 1.0 / (1.0 + dx * dx + dy * dy);
+        qsum += qnum[i * n + j];
+      }
+    }
+    qsum = std::max(qsum, 1e-300);
+    util::ThreadPool::global().parallel_for(n, [&](std::size_t i) {
+      grad[i] = {0.0, 0.0};
+      for (std::size_t j = 0; j < n; ++j) {
+        if (i == j) continue;
+        double q = std::max(qnum[i * n + j] / qsum, 1e-12);
+        double mult = (exag * pij[i * n + j] - q) * qnum[i * n + j];
+        grad[i][0] += 4.0 * mult * (y[i][0] - y[j][0]);
+        grad[i][1] += 4.0 * mult * (y[i][1] - y[j][1]);
+      }
+    });
+    for (std::size_t i = 0; i < n; ++i) {
+      for (int c = 0; c < 2; ++c) {
+        vel[i][static_cast<std::size_t>(c)] =
+            cfg.momentum * vel[i][static_cast<std::size_t>(c)] -
+            cfg.learning_rate * grad[i][static_cast<std::size_t>(c)];
+        y[i][static_cast<std::size_t>(c)] += vel[i][static_cast<std::size_t>(c)];
+      }
+    }
+  }
+  return y;
+}
+
+}  // namespace teal::analysis

@@ -1,0 +1,32 @@
+// tsne.h — exact t-SNE (van der Maaten & Hinton), used to visualize Teal's
+// learned flow embeddings (Figure 16, §5.8).
+//
+// The figure projects FlowGNN's final PathNode embeddings to 2-D and colors
+// each point by whether its path is "busy" in LP-all's optimal allocation
+// (largest split ratio among the demand's paths). We implement the exact
+// O(n^2) algorithm — the bench subsamples paths to keep n in the low
+// thousands — with the standard ingredients: perplexity calibration by
+// per-point binary search, symmetrized affinities, early exaggeration, and
+// momentum gradient descent.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace teal::analysis {
+
+struct TsneConfig {
+  double perplexity = 30.0;
+  int n_iterations = 400;
+  double learning_rate = 100.0;
+  double early_exaggeration = 4.0;  // applied for the first quarter of iters
+  double momentum = 0.8;
+  std::uint64_t seed = 5;
+};
+
+// `points` is row-major (n x dim). Returns n rows of 2-D coordinates.
+std::vector<std::array<double, 2>> tsne_2d(const std::vector<std::vector<double>>& points,
+                                           const TsneConfig& cfg = {});
+
+}  // namespace teal::analysis

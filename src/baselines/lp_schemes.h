@@ -1,0 +1,63 @@
+// lp_schemes.h — LP-all and LP-top (§5.1 baselines).
+//
+// LP-all hands the full TE LP of Equation (1) to the LP engine — the paper's
+// production reference (Gurobi there, our PDHG path-LP solver here). LP-top
+// is the "demand pinning" heuristic (Namyar et al. 2022): solve the LP for
+// only the top alpha% of demands by volume and pin every remaining demand to
+// its shortest path. Because the top set changes with every traffic matrix,
+// LP-top must rebuild its model per interval; per Table 2 that rebuilding
+// time is charged to its computation time.
+#pragma once
+
+#include <vector>
+
+#include "lp/path_lp.h"
+#include "te/scheme.h"
+
+namespace teal::baselines {
+
+struct LpSchemeConfig {
+  lp::PdhgOptions pdhg;
+  te::Objective objective = te::Objective::kTotalFlow;
+  double latency_penalty = 0.5;
+};
+
+class LpAllScheme : public te::Scheme {
+ public:
+  explicit LpAllScheme(LpSchemeConfig cfg = {}) : cfg_(std::move(cfg)) {}
+
+  std::string name() const override { return "LP-all"; }
+  te::Allocation solve(const te::Problem& pb, const te::TrafficMatrix& tm) override;
+  double last_solve_seconds() const override { return last_seconds_; }
+
+ private:
+  LpSchemeConfig cfg_;
+  double last_seconds_ = 0.0;
+};
+
+class LpTopScheme : public te::Scheme {
+ public:
+  // alpha: fraction of demands solved by LP (0.10 per §5.1 — "the top 10% of
+  // demands account for 88.4% of the total volume").
+  explicit LpTopScheme(double alpha = 0.10, LpSchemeConfig cfg = {})
+      : alpha_(alpha), cfg_(std::move(cfg)) {}
+
+  std::string name() const override { return "LP-top"; }
+  te::Allocation solve(const te::Problem& pb, const te::TrafficMatrix& tm) override;
+  double last_solve_seconds() const override { return last_seconds_; }
+
+ private:
+  double alpha_;
+  LpSchemeConfig cfg_;
+  double last_seconds_ = 0.0;
+};
+
+// Shared helper: solve the chosen objective on a demand subset against the
+// given capacities (empty subset = all demands). Used by LP-all/LP-top and
+// by NCFlow/POP's subproblems.
+te::Allocation solve_objective_lp(const te::Problem& pb, const te::TrafficMatrix& tm,
+                                  const LpSchemeConfig& cfg,
+                                  const std::vector<int>& subset,
+                                  const std::vector<double>& capacities);
+
+}  // namespace teal::baselines

@@ -1,0 +1,249 @@
+#include "baselines/ncflow.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <queue>
+
+#include "te/objective.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace teal::baselines {
+
+std::vector<int> partition_nodes(const topo::Graph& g, int k, std::uint64_t seed) {
+  const int n = g.num_nodes();
+  k = std::clamp(k, 1, n);
+  std::vector<int> cluster(static_cast<std::size_t>(n), -1);
+  util::Rng rng(seed);
+
+  // Pick k seeds spread out by repeated farthest-first traversal, then grow
+  // clusters with synchronized BFS (keeps them connected and balanced-ish).
+  std::vector<topo::NodeId> seeds;
+  seeds.push_back(static_cast<topo::NodeId>(rng.uniform_int(0, n - 1)));
+  std::vector<int> dist(static_cast<std::size_t>(n), 1 << 30);
+  auto relax_from = [&](topo::NodeId s) {
+    std::queue<topo::NodeId> q;
+    q.push(s);
+    dist[static_cast<std::size_t>(s)] = 0;
+    std::vector<int> local(static_cast<std::size_t>(n), -1);
+    local[static_cast<std::size_t>(s)] = 0;
+    while (!q.empty()) {
+      auto v = q.front();
+      q.pop();
+      for (topo::EdgeId e : g.out_edges(v)) {
+        auto u = g.edge(e).dst;
+        if (local[static_cast<std::size_t>(u)] < 0) {
+          local[static_cast<std::size_t>(u)] = local[static_cast<std::size_t>(v)] + 1;
+          dist[static_cast<std::size_t>(u)] =
+              std::min(dist[static_cast<std::size_t>(u)], local[static_cast<std::size_t>(u)]);
+          q.push(u);
+        }
+      }
+    }
+  };
+  relax_from(seeds[0]);
+  while (static_cast<int>(seeds.size()) < k) {
+    int best = -1, bd = -1;
+    for (int v = 0; v < n; ++v) {
+      if (dist[static_cast<std::size_t>(v)] > bd) {
+        bd = dist[static_cast<std::size_t>(v)];
+        best = v;
+      }
+    }
+    seeds.push_back(static_cast<topo::NodeId>(best));
+    relax_from(seeds.back());
+  }
+
+  // Multi-source BFS, one queue per seed, round-robin growth.
+  std::vector<std::queue<topo::NodeId>> frontier(seeds.size());
+  for (std::size_t c = 0; c < seeds.size(); ++c) {
+    if (cluster[static_cast<std::size_t>(seeds[c])] < 0) {
+      cluster[static_cast<std::size_t>(seeds[c])] = static_cast<int>(c);
+      frontier[c].push(seeds[c]);
+    }
+  }
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (std::size_t c = 0; c < frontier.size(); ++c) {
+      if (frontier[c].empty()) continue;
+      auto v = frontier[c].front();
+      frontier[c].pop();
+      progress = true;
+      for (topo::EdgeId e : g.out_edges(v)) {
+        auto u = g.edge(e).dst;
+        if (cluster[static_cast<std::size_t>(u)] < 0) {
+          cluster[static_cast<std::size_t>(u)] = static_cast<int>(c);
+          frontier[c].push(u);
+        }
+      }
+    }
+  }
+  // Isolated leftovers (disconnected graphs) join cluster 0.
+  for (auto& cl : cluster) {
+    if (cl < 0) cl = 0;
+  }
+  return cluster;
+}
+
+NcFlowScheme::NcFlowScheme(const te::Problem& pb, NcFlowConfig cfg) : cfg_(std::move(cfg)) {
+  const auto& g = pb.graph();
+  const int n = g.num_nodes();
+  n_clusters_ = cfg_.n_clusters > 0
+                    ? cfg_.n_clusters
+                    : std::clamp(static_cast<int>(std::lround(3.0 * std::sqrt(n))), 2,
+                                 std::max(2, n / 4));
+  cluster_of_ = partition_nodes(g, n_clusters_, cfg_.seed);
+
+  // Contracted graph: one node per cluster; parallel inter-cluster links are
+  // merged with summed capacity and min latency.
+  topo::Graph cg("NCFlow-contracted");
+  cg.add_nodes(n_clusters_);
+  std::map<std::pair<int, int>, std::pair<double, double>> agg;  // (cap, lat)
+  for (topo::EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto& ed = g.edge(e);
+    int cs = cluster_of_[static_cast<std::size_t>(ed.src)];
+    int ct = cluster_of_[static_cast<std::size_t>(ed.dst)];
+    if (cs == ct) continue;
+    auto& entry = agg[{cs, ct}];
+    if (entry.first == 0.0) entry.second = ed.latency;
+    entry.first += ed.capacity;
+    entry.second = std::min(entry.second, ed.latency);
+  }
+  for (const auto& [key, val] : agg) {
+    cg.add_edge(key.first, key.second, val.first, val.second);
+  }
+
+  // Demand bundles per ordered cluster pair.
+  std::map<std::pair<int, int>, int> bundle_index;
+  std::vector<te::Demand> bundles;
+  bundle_of_demand_.assign(static_cast<std::size_t>(pb.num_demands()), -1);
+  cluster_demands_.assign(static_cast<std::size_t>(n_clusters_), {});
+  for (int d = 0; d < pb.num_demands(); ++d) {
+    int cs = cluster_of_[static_cast<std::size_t>(pb.demand(d).src)];
+    int ct = cluster_of_[static_cast<std::size_t>(pb.demand(d).dst)];
+    if (cs == ct) {
+      cluster_demands_[static_cast<std::size_t>(cs)].push_back(d);
+      continue;
+    }
+    auto [it, inserted] = bundle_index.try_emplace({cs, ct}, static_cast<int>(bundles.size()));
+    if (inserted) {
+      bundles.push_back(te::Demand{static_cast<topo::NodeId>(cs),
+                                   static_cast<topo::NodeId>(ct)});
+    }
+    bundle_of_demand_[static_cast<std::size_t>(d)] = it->second;
+  }
+  contracted_ = std::make_unique<te::Problem>(std::move(cg), std::move(bundles),
+                                              pb.k_paths());
+  // Problem construction may drop unreachable bundles; remap.
+  {
+    std::map<std::pair<int, int>, int> kept;
+    for (int b = 0; b < contracted_->num_demands(); ++b) {
+      kept[{contracted_->demand(b).src, contracted_->demand(b).dst}] = b;
+    }
+    for (int d = 0; d < pb.num_demands(); ++d) {
+      int& bd = bundle_of_demand_[static_cast<std::size_t>(d)];
+      if (bd < 0) continue;
+      int cs = cluster_of_[static_cast<std::size_t>(pb.demand(d).src)];
+      int ct = cluster_of_[static_cast<std::size_t>(pb.demand(d).dst)];
+      auto it = kept.find({cs, ct});
+      bd = it == kept.end() ? -1 : it->second;
+    }
+  }
+
+  // Intra paths per demand: paths that never leave the demand's cluster.
+  cluster_intra_paths_.assign(static_cast<std::size_t>(pb.num_demands()), {});
+  for (int c = 0; c < n_clusters_; ++c) {
+    for (int d : cluster_demands_[static_cast<std::size_t>(c)]) {
+      for (int p = pb.path_begin(d); p < pb.path_end(d); ++p) {
+        bool inside = true;
+        for (topo::EdgeId e : pb.path_edges(p)) {
+          if (cluster_of_[static_cast<std::size_t>(pb.graph().edge(e).src)] != c ||
+              cluster_of_[static_cast<std::size_t>(pb.graph().edge(e).dst)] != c) {
+            inside = false;
+            break;
+          }
+        }
+        if (inside) cluster_intra_paths_[static_cast<std::size_t>(d)].push_back(p);
+      }
+    }
+  }
+}
+
+te::Allocation NcFlowScheme::solve(const te::Problem& pb, const te::TrafficMatrix& tm) {
+  util::Timer timer;
+  te::Allocation a = pb.empty_allocation();
+
+  // --- 1. Contracted inter-cluster LP on aggregated bundles.
+  te::TrafficMatrix bundle_tm;
+  bundle_tm.volume.assign(static_cast<std::size_t>(contracted_->num_demands()), 0.0);
+  for (int d = 0; d < pb.num_demands(); ++d) {
+    int b = bundle_of_demand_[static_cast<std::size_t>(d)];
+    if (b >= 0) bundle_tm.volume[static_cast<std::size_t>(b)] += tm.volume[static_cast<std::size_t>(d)];
+  }
+  lp::FlowLpSpec cspec;
+  te::Allocation bundle_alloc = lp::solve_flow_lp(*contracted_, bundle_tm, cspec, cfg_.pdhg);
+  // Routed fraction per bundle.
+  std::vector<double> bundle_frac(static_cast<std::size_t>(contracted_->num_demands()), 0.0);
+  for (int b = 0; b < contracted_->num_demands(); ++b) {
+    double s = 0.0;
+    for (int p = contracted_->path_begin(b); p < contracted_->path_end(b); ++p) {
+      s += bundle_alloc.split[static_cast<std::size_t>(p)];
+    }
+    bundle_frac[static_cast<std::size_t>(b)] = std::min(1.0, s);
+  }
+
+  // --- 2. Map bundle fractions back: each inter-cluster demand routes its
+  // bundle's admitted fraction on its shortest preconfigured path. This is
+  // the lossy step of the decomposition — NCFlow routes each demand bundle
+  // over one cluster-level path and does not re-split per-demand inside the
+  // bundle, which is exactly where the paper finds it loses allocation
+  // quality (72.6% on UsCarrier vs 96.2% optimal, 63.8% on Kdl).
+  for (int d = 0; d < pb.num_demands(); ++d) {
+    int b = bundle_of_demand_[static_cast<std::size_t>(d)];
+    if (b < 0) continue;
+    a.split[static_cast<std::size_t>(pb.path_begin(d))] =
+        bundle_frac[static_cast<std::size_t>(b)];
+  }
+
+  // --- 3. Residual capacities after inter-cluster traffic.
+  std::vector<double> residual = pb.capacities();
+  {
+    auto load = te::edge_loads(pb, tm, a);
+    for (std::size_t e = 0; e < residual.size(); ++e) {
+      residual[e] = std::max(0.0, residual[e] - load[e]);
+    }
+  }
+
+  // --- 4. Per-cluster intra LPs, concurrently (restricted to paths that stay
+  // inside the cluster).
+  std::vector<te::Allocation> cluster_alloc(static_cast<std::size_t>(n_clusters_));
+  util::ThreadPool::global().parallel_for(
+      static_cast<std::size_t>(n_clusters_), [&](std::size_t c) {
+        const auto& ds = cluster_demands_[c];
+        if (ds.empty()) return;
+        lp::FlowLpSpec spec;
+        spec.demand_subset = ds;
+        spec.capacities = residual;
+        cluster_alloc[c] = lp::solve_flow_lp(pb, tm, spec, cfg_.pdhg);
+      });
+  for (int c = 0; c < n_clusters_; ++c) {
+    const auto& ca = cluster_alloc[static_cast<std::size_t>(c)];
+    if (ca.split.empty()) continue;
+    for (int d : cluster_demands_[static_cast<std::size_t>(c)]) {
+      // Keep only splits on intra-cluster paths.
+      for (int p : cluster_intra_paths_[static_cast<std::size_t>(d)]) {
+        a.split[static_cast<std::size_t>(p)] = ca.split[static_cast<std::size_t>(p)];
+      }
+    }
+  }
+
+  // --- 5. Coalescing pass: make the merged allocation feasible.
+  a = te::repair_to_feasible(pb, tm, std::move(a));
+  last_seconds_ = timer.seconds();
+  return a;
+}
+
+}  // namespace teal::baselines

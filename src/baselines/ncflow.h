@@ -1,0 +1,58 @@
+// ncflow.h — NCFlow-style spatial decomposition (Abuzaid et al., NSDI 2021).
+//
+// NCFlow partitions the WAN into k clusters, solves TE subproblems per
+// cluster and on a *contracted* graph (clusters as super-nodes, aggregated
+// inter-cluster capacities and demand bundles), then merges the results into
+// a valid global allocation — the merge being the nontrivial, iterative part
+// the paper charges to its run time (Table 2). The decomposition buys
+// parallelism but loses allocation quality, which is exactly the tradeoff
+// Figure 6 shows (NCFlow is the fastest LP-based scheme on Kdl yet satisfies
+// by far the least demand).
+//
+// Our rendition keeps that structure: BFS-grown balanced partitioning (a
+// stand-in for FMPartitioning), a contracted path-LP for inter-cluster
+// bundles, per-cluster LPs (solved concurrently on the thread pool) for
+// intra-cluster demands on residual capacities, and a final feasibility
+// repair representing the coalescing pass.
+#pragma once
+
+#include <vector>
+
+#include "baselines/lp_schemes.h"
+#include "te/scheme.h"
+#include "topo/graph.h"
+
+namespace teal::baselines {
+
+// Balanced BFS-grown node partition into k clusters.
+std::vector<int> partition_nodes(const topo::Graph& g, int k, std::uint64_t seed = 11);
+
+struct NcFlowConfig {
+  int n_clusters = 0;  // 0 = heuristic ~3*sqrt(n), the paper's 64-81 regime on Kdl
+  lp::PdhgOptions pdhg;
+  std::uint64_t seed = 11;
+};
+
+class NcFlowScheme : public te::Scheme {
+ public:
+  // Builds the partition and the contracted problem once (one-time setup).
+  NcFlowScheme(const te::Problem& pb, NcFlowConfig cfg = {});
+
+  std::string name() const override { return "NCFlow"; }
+  te::Allocation solve(const te::Problem& pb, const te::TrafficMatrix& tm) override;
+  double last_solve_seconds() const override { return last_seconds_; }
+
+  int n_clusters() const { return n_clusters_; }
+
+ private:
+  NcFlowConfig cfg_;
+  int n_clusters_ = 0;
+  std::vector<int> cluster_of_;                  // node -> cluster
+  std::unique_ptr<te::Problem> contracted_;      // cluster-level problem
+  std::vector<int> bundle_of_demand_;            // demand -> contracted demand (-1 intra)
+  std::vector<std::vector<int>> cluster_demands_;  // cluster -> intra demand ids
+  std::vector<std::vector<int>> cluster_intra_paths_;  // per demand: paths fully inside
+  double last_seconds_ = 0.0;
+};
+
+}  // namespace teal::baselines

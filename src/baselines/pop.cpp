@@ -1,0 +1,97 @@
+#include "baselines/pop.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace teal::baselines {
+
+int default_pop_replicas(int n_nodes) {
+  if (n_nodes < 150) return 1;   // B4, SWAN
+  if (n_nodes < 300) return 4;   // UsCarrier
+  return 128;                    // Kdl, ASN
+}
+
+te::Allocation PopScheme::solve(const te::Problem& pb, const te::TrafficMatrix& tm) {
+  util::Timer timer;
+  const int nd = pb.num_demands();
+  const int k = cfg_.k > 0 ? cfg_.k : default_pop_replicas(pb.graph().num_nodes());
+  util::Rng rng(cfg_.seed);
+
+  if (k <= 1) {
+    lp::FlowLpSpec spec;
+    te::Allocation a = lp::solve_flow_lp(pb, tm, spec, cfg_.pdhg);
+    last_seconds_ = timer.seconds();
+    return a;
+  }
+
+  // Replica capacities: 1/k of every link.
+  std::vector<double> caps = pb.capacities();
+  double max_cap = 0.0;
+  for (double& c : caps) {
+    max_cap = std::max(max_cap, c);
+    c /= static_cast<double>(k);
+  }
+  const double split_above = cfg_.split_threshold * max_cap / static_cast<double>(k);
+
+  // Random assignment with client splitting: each demand contributes volume
+  // shares to one or more replicas.
+  // share[r][d] = fraction of demand d's volume handled by replica r.
+  std::vector<std::vector<std::pair<int, double>>> replica_demands(
+      static_cast<std::size_t>(k));  // per replica: (demand, volume share)
+  for (int d = 0; d < nd; ++d) {
+    double vol = tm.volume[static_cast<std::size_t>(d)];
+    int pieces = 1;
+    if (split_above > 0.0 && vol > split_above) {
+      pieces = std::min<int>(std::min(k, cfg_.max_split_pieces),
+                             static_cast<int>(std::ceil(vol / split_above)));
+    }
+    // Distinct replicas for the pieces.
+    auto rs = rng.sample_without_replacement(static_cast<std::size_t>(k),
+                                             static_cast<std::size_t>(pieces));
+    for (std::size_t i = 0; i < rs.size(); ++i) {
+      replica_demands[rs[i]].emplace_back(d, 1.0 / static_cast<double>(pieces));
+    }
+  }
+
+  // Solve the k subproblems in parallel; each sees its demands' partial
+  // volumes against the 1/k capacities.
+  std::vector<te::Allocation> sub(static_cast<std::size_t>(k));
+  util::ThreadPool::global().parallel_for(static_cast<std::size_t>(k), [&](std::size_t r) {
+    if (replica_demands[r].empty()) return;
+    te::TrafficMatrix sub_tm;
+    sub_tm.volume.assign(static_cast<std::size_t>(nd), 0.0);
+    std::vector<int> subset;
+    subset.reserve(replica_demands[r].size());
+    for (auto [d, share] : replica_demands[r]) {
+      subset.push_back(d);
+      sub_tm.volume[static_cast<std::size_t>(d)] =
+          tm.volume[static_cast<std::size_t>(d)] * share;
+    }
+    lp::FlowLpSpec spec;
+    spec.demand_subset = subset;
+    spec.capacities = caps;
+    sub[r] = lp::solve_flow_lp(pb, sub_tm, spec, cfg_.pdhg);
+  });
+
+  // Merge: the demand's total split on path p is the share-weighted sum of
+  // its sub-allocations (splits are fractions of the *full* volume).
+  te::Allocation a = pb.empty_allocation();
+  for (int r = 0; r < k; ++r) {
+    const auto& sa = sub[static_cast<std::size_t>(r)];
+    if (sa.split.empty()) continue;
+    for (auto [d, share] : replica_demands[static_cast<std::size_t>(r)]) {
+      for (int p = pb.path_begin(d); p < pb.path_end(d); ++p) {
+        a.split[static_cast<std::size_t>(p)] +=
+            sa.split[static_cast<std::size_t>(p)] * share;
+      }
+    }
+  }
+  last_seconds_ = timer.seconds();
+  return a;
+}
+
+}  // namespace teal::baselines

@@ -1,0 +1,44 @@
+// pop.h — POP: Partitioned Optimization Problems (Narayanan et al., SOSP'21).
+//
+// POP replicates the whole topology k times, gives each replica 1/k of every
+// link capacity, randomly assigns each demand to one replica, and solves the
+// k subproblems concurrently with the LP engine; the union of the per-replica
+// allocations is feasible by construction (capacities partition). "Client
+// splitting" breaks demands larger than a threshold into equal sub-demands
+// spread over several replicas so no single replica is overwhelmed by an
+// elephant flow (threshold 0.25 per §5.1).
+#pragma once
+
+#include "baselines/lp_schemes.h"
+#include "te/scheme.h"
+
+namespace teal::baselines {
+
+struct PopConfig {
+  int k = 0;                       // 0 = paper defaults by size (1/4/128)
+  double split_threshold = 0.25;   // of (max link capacity / k), per §5.1
+  // Client splitting divides an oversized demand across a bounded number of
+  // replicas (unbounded splitting would degenerate into re-solving the whole
+  // LP and erase POP's speed/quality tradeoff).
+  int max_split_pieces = 32;
+  lp::PdhgOptions pdhg;
+  std::uint64_t seed = 17;
+};
+
+// Paper §5.1: k = 1 for B4/SWAN, 4 for UsCarrier, 128 for Kdl/ASN.
+int default_pop_replicas(int n_nodes);
+
+class PopScheme : public te::Scheme {
+ public:
+  explicit PopScheme(PopConfig cfg = {}) : cfg_(std::move(cfg)) {}
+
+  std::string name() const override { return "POP"; }
+  te::Allocation solve(const te::Problem& pb, const te::TrafficMatrix& tm) override;
+  double last_solve_seconds() const override { return last_seconds_; }
+
+ private:
+  PopConfig cfg_;
+  double last_seconds_ = 0.0;
+};
+
+}  // namespace teal::baselines

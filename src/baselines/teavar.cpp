@@ -1,0 +1,30 @@
+#include "baselines/teavar.h"
+
+#include <algorithm>
+
+#include "util/timer.h"
+
+namespace teal::baselines {
+
+te::Allocation TeavarStarScheme::solve(const te::Problem& pb, const te::TrafficMatrix& tm) {
+  util::Timer timer;
+  // Availability-discounted path weights: a path crossing f links survives a
+  // single-link-failure scenario set with probability ~ 1 - f*q, so its
+  // expected-loss penalty is theta * q * (#links).
+  lp::FlowLpSpec spec;
+  spec.path_weight.assign(static_cast<std::size_t>(pb.total_paths()), 1.0);
+  for (int p = 0; p < pb.total_paths(); ++p) {
+    double fail = cfg_.link_failure_prob * static_cast<double>(pb.path_edges(p).size());
+    spec.path_weight[static_cast<std::size_t>(p)] =
+        std::max(0.05, 1.0 - cfg_.theta * fail);
+  }
+  // Restoration headroom.
+  spec.capacities = pb.capacities();
+  for (double& c : spec.capacities) c *= (1.0 - cfg_.headroom);
+
+  te::Allocation a = lp::solve_flow_lp(pb, tm, spec, cfg_.pdhg);
+  last_seconds_ = timer.seconds();
+  return a;
+}
+
+}  // namespace teal::baselines

@@ -1,0 +1,42 @@
+// teavar.h — TEAVAR* (Bogle et al., SIGCOMM'19; the total-flow variant
+// adapted by NCFlow, §5.1).
+//
+// TEAVAR balances utilization against an operator availability target by
+// penalizing allocations that would lose traffic under probable link-failure
+// scenarios. We implement the total-flow variant as a weighted LP: each
+// path's objective coefficient is discounted by the probability that one of
+// its links fails (single-link failure scenarios, independent probabilities),
+// scaled by an availability weight theta, and the LP additionally reserves
+// `headroom` capacity for post-failure restoration. Both knobs make TEAVAR*
+// deliberately sacrifice utilization for availability — the behaviour
+// Figure 8 shows on B4 (it trails the other schemes by a few percent whether
+// or not failures occur). Like in the paper it is only practical on small
+// topologies.
+#pragma once
+
+#include "baselines/lp_schemes.h"
+#include "te/scheme.h"
+
+namespace teal::baselines {
+
+struct TeavarConfig {
+  double link_failure_prob = 0.01;  // per-link scenario probability
+  double theta = 4.0;               // availability weight on expected loss
+  double headroom = 0.12;           // capacity fraction reserved for restoration
+  lp::PdhgOptions pdhg;
+};
+
+class TeavarStarScheme : public te::Scheme {
+ public:
+  explicit TeavarStarScheme(TeavarConfig cfg = {}) : cfg_(std::move(cfg)) {}
+
+  std::string name() const override { return "TEAVAR*"; }
+  te::Allocation solve(const te::Problem& pb, const te::TrafficMatrix& tm) override;
+  double last_solve_seconds() const override { return last_seconds_; }
+
+ private:
+  TeavarConfig cfg_;
+  double last_seconds_ = 0.0;
+};
+
+}  // namespace teal::baselines

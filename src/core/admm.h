@@ -1,0 +1,69 @@
+// admm.h — ADMM solution fine-tuning (§3.4, Appendix C).
+//
+// Teal's neural networks output split ratios that may violate link
+// capacities. A handful of ADMM iterations, warm-started from the network
+// output, pushes the solution toward the feasible region while improving the
+// TE objective. Following Appendix C, the TE LP is decoupled by introducing
+//   * per-(path, edge) auxiliary variables z_pe with F_p * d - z_pe = 0,
+//   * slack s1_d for the demand constraints and s3_e for capacity, and
+//   * multipliers lambda1_d, lambda3_e, lambda4_pe with penalty rho.
+// Each ADMM iteration alternates exact minimizations of the augmented
+// Lagrangian: the F-update decomposes per *demand* (a tiny nonnegative QP
+// solved by coordinate descent), the z-update per *edge*, and the slack/dual
+// updates are elementwise — all three embarrassingly parallel, which is why
+// the paper runs ADMM on the GPU. Per §4 the iteration count is 2 for
+// topologies with < 100 nodes and 5 otherwise.
+//
+// Used alone from a cold start, ADMM needs far too many iterations to reach
+// a good solution (§3.4) — the fig14 ablation bench demonstrates exactly
+// that by comparing cold- and warm-started runs.
+#pragma once
+
+#include <vector>
+
+#include "te/problem.h"
+
+namespace teal::core {
+
+struct AdmmConfig {
+  int iterations = 5;        // 2 for < 100 nodes, 5 otherwise (§4)
+  double rho = 5.0;          // penalty coefficient (volumes are normalized)
+  int coord_sweeps = 4;      // coordinate-descent sweeps inside F/z updates
+  std::vector<double> path_weight;  // optional per-path objective weights
+};
+
+// Returns the paper's per-topology default iteration count.
+int default_admm_iterations(int n_nodes);
+
+class Admm {
+ public:
+  // Precomputes the per-edge (path, slot) index lists; reusable across solves
+  // on the same Problem.
+  explicit Admm(const te::Problem& pb, AdmmConfig cfg = {});
+
+  // Fine-tunes `a` in place for the given matrix/capacities. Returns the
+  // total constraint violation (demand + capacity + coupling residuals)
+  // before and after, letting callers and tests check monotone improvement.
+  struct Residuals {
+    double before = 0.0;
+    double after = 0.0;
+  };
+  Residuals fine_tune(const te::TrafficMatrix& tm, const std::vector<double>& capacities,
+                      te::Allocation& a) const;
+
+  const AdmmConfig& config() const { return cfg_; }
+
+ private:
+  const te::Problem& pb_;
+  AdmmConfig cfg_;
+  // Flattened z layout: z index range of path p is [z_offset_[p], z_offset_[p+1]).
+  std::vector<int> z_offset_;
+  // Per edge: list of (z index, global path id) incidences.
+  struct Incidence {
+    int z_index;
+    int path;
+  };
+  std::vector<std::vector<Incidence>> edge_incidence_;
+};
+
+}  // namespace teal::core

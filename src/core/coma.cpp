@@ -1,0 +1,173 @@
+#include "core/coma.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "util/thread_pool.h"
+
+namespace teal::core {
+
+namespace {
+
+// Masked softmax of one row of k logits into `out` (entries at invalid slots
+// are zeroed).
+void row_softmax(const double* z, const double* mask, int k, double* out) {
+  double mx = -1e300;
+  for (int c = 0; c < k; ++c) {
+    if (mask[c] != 0.0) mx = std::max(mx, z[c]);
+  }
+  double denom = 0.0;
+  for (int c = 0; c < k; ++c) {
+    if (mask[c] != 0.0) {
+      out[c] = std::exp(z[c] - mx);
+      denom += out[c];
+    } else {
+      out[c] = 0.0;
+    }
+  }
+  if (denom > 0.0) {
+    for (int c = 0; c < k; ++c) out[c] /= denom;
+  }
+}
+
+}  // namespace
+
+double evaluate_model(const Model& model, const te::Problem& pb,
+                      const traffic::Trace& trace, te::Objective obj) {
+  double total = 0.0;
+  const std::vector<double> caps = pb.capacities();
+  for (int t = 0; t < trace.size(); ++t) {
+    const auto& tm = trace.at(t);
+    auto fwd = model.forward_m(pb, tm, &caps);
+    auto alloc = allocation_from_splits(pb, splits_from_logits(fwd.logits, fwd.mask));
+    total += te::objective_score(pb, tm, alloc, obj, &caps) / std::max(1e-9, tm.total());
+  }
+  return total / std::max(1, trace.size());
+}
+
+TrainStats train_coma(Model& model, const te::Problem& pb, const traffic::Trace& train,
+                      te::Objective obj, const ComaConfig& cfg) {
+  const int k = model.k_paths();
+  const int nd = pb.num_demands();
+  nn::Adam adam(model.params(), cfg.lr);
+  RewardSimulator sim(pb, obj);
+  const std::vector<double> caps = pb.capacities();
+
+  // Per-worker RNGs and scratch, so counterfactual evaluation parallelizes.
+  auto& pool = util::ThreadPool::global();
+  const std::size_t n_workers = pool.size();
+  util::Rng root(cfg.seed);
+  std::vector<util::Rng> worker_rng;
+  std::vector<RewardSimulator::Scratch> worker_scratch;
+  for (std::size_t w = 0; w < n_workers; ++w) {
+    worker_rng.push_back(root.fork(w + 1));
+    worker_scratch.push_back(sim.make_scratch());
+  }
+
+  TrainStats stats;
+  double best_val = -std::numeric_limits<double>::infinity();
+  std::vector<nn::Mat> best_params;
+  for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+    double reward_sum = 0.0;
+    for (int t = 0; t < train.size(); ++t) {
+      const te::TrafficMatrix& tm = train.at(t);
+      auto fwd = model.forward_m(pb, tm);
+
+      // Sample the joint action: z ~ N(mu, sigma^2) on valid slots.
+      nn::Mat z(nd, k), splits(nd, k);
+      {
+        util::Rng& rng = worker_rng[0];
+        for (int d = 0; d < nd; ++d) {
+          for (int c = 0; c < k; ++c) {
+            z.at(d, c) = fwd.logits.at(d, c) +
+                         (fwd.mask.at(d, c) != 0.0 ? cfg.sigma * rng.normal() : 0.0);
+          }
+          row_softmax(z.row_ptr(d), fwd.mask.row_ptr(d), k, splits.row_ptr(d));
+        }
+      }
+      sim.set_state(tm, caps, splits);
+      reward_sum += sim.global_reward() / std::max(1e-9, tm.total());
+
+      // Counterfactual advantages, one agent at a time, in parallel.
+      std::vector<double> advantage(static_cast<std::size_t>(nd), 0.0);
+      std::atomic<std::size_t> next_worker{0};
+      pool.parallel_chunks(static_cast<std::size_t>(nd), [&](std::size_t b, std::size_t e) {
+        const std::size_t w = next_worker.fetch_add(1) % n_workers;
+        auto& rng = worker_rng[w];
+        auto& scratch = worker_scratch[w];
+        std::vector<double> zc(static_cast<std::size_t>(k));
+        std::vector<double> cand(static_cast<std::size_t>(k));
+        for (std::size_t di = b; di < e; ++di) {
+          const int d = static_cast<int>(di);
+          const double base = sim.value_of(d, splits.row_ptr(d), scratch);
+          double baseline = 0.0;
+          for (int m = 0; m < cfg.mc_samples; ++m) {
+            for (int c = 0; c < k; ++c) {
+              zc[static_cast<std::size_t>(c)] =
+                  fwd.logits.at(d, c) +
+                  (fwd.mask.at(d, c) != 0.0 ? cfg.sigma * rng.normal() : 0.0);
+            }
+            row_softmax(zc.data(), fwd.mask.row_ptr(d), k, cand.data());
+            baseline += sim.value_of(d, cand.data(), scratch);
+          }
+          baseline /= std::max(1, cfg.mc_samples);
+          advantage[di] = base - baseline;
+        }
+      });
+
+      // Scale-normalize the advantages (keeps gradients comparable across
+      // topologies without destroying per-agent sign information).
+      double sq = 0.0;
+      for (double a : advantage) sq += a * a;
+      double scale = 1.0 / (std::sqrt(sq / std::max(1, nd)) + cfg.adv_norm_eps);
+
+      // Policy gradient on the Gaussian mean: dlogpi/dmu = (z - mu) / sigma^2.
+      // We minimize -J, hence the leading minus.
+      nn::Mat grad_logits(nd, k);
+      const double inv_var = 1.0 / (cfg.sigma * cfg.sigma);
+      for (int d = 0; d < nd; ++d) {
+        const double a = advantage[static_cast<std::size_t>(d)] * scale;
+        for (int c = 0; c < k; ++c) {
+          if (fwd.mask.at(d, c) != 0.0) {
+            grad_logits.at(d, c) = -a * (z.at(d, c) - fwd.logits.at(d, c)) * inv_var;
+          }
+        }
+      }
+
+      adam.zero_grad();
+      model.backward_m(pb, fwd, grad_logits);
+      adam.clip_grad_norm(cfg.grad_clip);
+      adam.step();
+    }
+    double mean_reward = reward_sum / std::max(1, train.size());
+    stats.epoch_reward.push_back(mean_reward);
+
+    if (cfg.validation && cfg.validation->size() > 0) {
+      double score = evaluate_model(model, pb, *cfg.validation, obj);
+      stats.epoch_validation.push_back(score);
+      if (score > best_val) {
+        best_val = score;
+        stats.best_epoch = epoch;
+        best_params.clear();
+        for (nn::Param* p : model.params()) best_params.push_back(p->w);
+      }
+    }
+    if (cfg.verbose) {
+      std::printf("[coma] epoch %d mean normalized reward %.4f%s\n", epoch, mean_reward,
+                  stats.epoch_validation.empty()
+                      ? ""
+                      : (" val " + std::to_string(stats.epoch_validation.back())).c_str());
+    }
+  }
+  // Restore the best validation snapshot.
+  if (!best_params.empty()) {
+    auto params = model.params();
+    for (std::size_t i = 0; i < params.size(); ++i) params[i]->w = best_params[i];
+  }
+  return stats;
+}
+
+}  // namespace teal::core

@@ -1,0 +1,60 @@
+// coma.h — COMA*, the multi-agent RL algorithm that trains Teal (§3.3, App B).
+//
+// Each demand is an agent; all agents share the policy network and observe
+// only their own flow embeddings (their local state s_i). Training follows
+// centralized-training-of-decentralized-policies:
+//   1. a stochastic policy: the network's logits are the mean of a Gaussian;
+//      actions z_i ~ N(mu_i, sigma^2) are squashed by masked softmax into
+//      split ratios (deployment uses the mean directly);
+//   2. COMA*'s one-step return: TE allocations in one interval do not affect
+//      future traffic matrices, so the expected return *is* the immediate
+//      reward — no discounting, no critic bootstrap;
+//   3. a counterfactual baseline per agent, estimated with Monte Carlo
+//      samples a'_i ~ pi(.|s_i) evaluated by the RewardSimulator while the
+//      other agents' actions stay fixed (Equation 2);
+//   4. the policy gradient g = E[ sum_i A_i * grad log pi(a_i|s_i) ]
+//      (Equation 3), backpropagated end to end through the policy network
+//      *and* FlowGNN, then applied with Adam.
+#pragma once
+
+#include <functional>
+
+#include "core/model.h"
+#include "core/reward.h"
+#include "traffic/traffic.h"
+
+namespace teal::core {
+
+struct ComaConfig {
+  int epochs = 4;
+  int mc_samples = 4;        // Monte Carlo samples for the baseline
+  double sigma = 0.2;        // Gaussian exploration stddev on logits
+  double lr = 1e-3;          // Adam learning rate (paper: 1e-4, week-long runs)
+  double grad_clip = 10.0;
+  double adv_norm_eps = 1e-6;
+  std::uint64_t seed = 123;
+  bool verbose = false;
+  // Optional validation matrices: after each epoch the deployment-mode (mean
+  // action) objective is evaluated on them and the best-scoring parameters
+  // are restored at the end — policy-gradient training drifts, and the paper
+  // holds out 100 matrices for validation (§5.1).
+  const traffic::Trace* validation = nullptr;
+};
+
+struct TrainStats {
+  std::vector<double> epoch_reward;      // mean global reward per epoch
+  std::vector<double> epoch_validation;  // mean validation score (if enabled)
+  int best_epoch = -1;                   // epoch whose params were kept
+};
+
+// Trains `model` in place on the given training matrices. Returns per-epoch
+// mean rewards so callers/tests can assert learning progress.
+TrainStats train_coma(Model& model, const te::Problem& pb, const traffic::Trace& train,
+                      te::Objective obj, const ComaConfig& cfg = {});
+
+// Deployment-mode evaluation helper: mean normalized objective of the model's
+// (mean-action) allocations over a trace.
+double evaluate_model(const Model& model, const te::Problem& pb,
+                      const traffic::Trace& trace, te::Objective obj);
+
+}  // namespace teal::core

@@ -1,0 +1,37 @@
+// direct_loss.h — the "Teal w/ direct loss" ablation (§3.3, §5.7).
+//
+// Instead of RL, train the model by gradient ascent on a differentiable
+// *surrogate* of the total feasible flow (Appendix A):
+//
+//   S = sum_p F_p * d  -  sum_e max(0, load_e - c_e)
+//
+// (total intended flow minus total link overutilization). The surrogate is
+// piecewise linear in the splits, so dS/dF_p = d * (w_p - #violated edges on
+// p), which backpropagates through the softmax and the model. The paper finds
+// this 2.3-2.5% worse than COMA* because of the surrogate's approximation
+// error — our Figure 14 bench reproduces that comparison.
+#pragma once
+
+#include "core/model.h"
+#include "te/objective.h"
+#include "traffic/traffic.h"
+
+namespace teal::core {
+
+struct DirectLossConfig {
+  int epochs = 6;
+  double lr = 1e-3;
+  double grad_clip = 10.0;
+  double latency_penalty = 0.5;  // only used for kLatencyPenalizedFlow
+  bool verbose = false;
+};
+
+struct DirectLossStats {
+  std::vector<double> epoch_surrogate;  // mean normalized surrogate per epoch
+};
+
+DirectLossStats train_direct_loss(Model& model, const te::Problem& pb,
+                                  const traffic::Trace& train, te::Objective obj,
+                                  const DirectLossConfig& cfg = {});
+
+}  // namespace teal::core

@@ -1,0 +1,314 @@
+#include "core/flow_gnn.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/thread_pool.h"
+
+namespace teal::core {
+
+namespace {
+
+// Column-wise concat [a | b] -> out.
+void concat_cols(const nn::Mat& a, const nn::Mat& b, nn::Mat& out) {
+  out = nn::Mat(a.rows(), a.cols() + b.cols());
+  for (int r = 0; r < a.rows(); ++r) {
+    std::copy(a.row_ptr(r), a.row_ptr(r) + a.cols(), out.row_ptr(r));
+    std::copy(b.row_ptr(r), b.row_ptr(r) + b.cols(), out.row_ptr(r) + a.cols());
+  }
+}
+
+}  // namespace
+
+FlowGnn::FlowGnn(const FlowGnnConfig& cfg, int k_paths, util::Rng& rng)
+    : cfg_(cfg), k_paths_(k_paths) {
+  if (cfg.n_blocks < 1) throw std::invalid_argument("FlowGnn: n_blocks < 1");
+  if (k_paths < 1) throw std::invalid_argument("FlowGnn: k_paths < 1");
+  // Working dims interpolate from 1 to the final dimension; with the default
+  // final_dim == n_blocks this is exactly the paper's +1-per-layer widening.
+  const int final_dim = effective_final_dim(cfg);
+  dims_.resize(static_cast<std::size_t>(cfg.n_blocks));
+  for (int l = 0; l < cfg.n_blocks; ++l) {
+    dims_[static_cast<std::size_t>(l)] =
+        cfg.n_blocks == 1
+            ? final_dim
+            : 1 + static_cast<int>(std::lround(static_cast<double>(l) *
+                                               (final_dim - 1) / (cfg.n_blocks - 1)));
+  }
+  for (int l = 0; l < cfg.n_blocks; ++l) {
+    const int d = dims_[static_cast<std::size_t>(l)];
+    edge_linear_.emplace_back(2 * d, d, rng);
+    path_linear_.emplace_back(2 * d, d, rng);
+    dnn_linear_.emplace_back(k_paths * d, k_paths * d, rng);
+  }
+}
+
+namespace {
+// Widens `m` to `target` columns by appending copies of the 1-dim init
+// feature (§4's expressiveness technique).
+nn::Mat widen_to(const nn::Mat& m, const nn::Mat& feat0, int target) {
+  if (m.cols() == target) return m;
+  nn::Mat out(m.rows(), target);
+  for (int r = 0; r < m.rows(); ++r) {
+    std::copy(m.row_ptr(r), m.row_ptr(r) + m.cols(), out.row_ptr(r));
+    for (int c = m.cols(); c < target; ++c) out.at(r, c) = feat0.at(r, 0);
+  }
+  return out;
+}
+}  // namespace
+
+void FlowGnn::aggregate_paths_to_edges(const te::Problem& pb, const nn::Mat& paths,
+                                       nn::Mat& agg) const {
+  const int ne = pb.graph().num_edges();
+  const int d = paths.cols();
+  agg = nn::Mat(ne, d);
+  util::ThreadPool::global().parallel_chunks(
+      static_cast<std::size_t>(ne), [&](std::size_t b, std::size_t e) {
+        for (std::size_t ei = b; ei < e; ++ei) {
+          const auto& ps = pb.paths_on_edge(static_cast<topo::EdgeId>(ei));
+          if (ps.empty()) continue;
+          double* out = agg.row_ptr(static_cast<int>(ei));
+          for (int p : ps) {
+            const double* pr = paths.row_ptr(p);
+            for (int c = 0; c < d; ++c) out[c] += pr[c];
+          }
+          const double inv = 1.0 / static_cast<double>(ps.size());
+          for (int c = 0; c < d; ++c) out[c] *= inv;
+        }
+      });
+}
+
+void FlowGnn::aggregate_edges_to_paths(const te::Problem& pb, const nn::Mat& edges,
+                                       nn::Mat& agg) const {
+  const int np = pb.total_paths();
+  const int d = edges.cols();
+  agg = nn::Mat(np, d);
+  util::ThreadPool::global().parallel_chunks(
+      static_cast<std::size_t>(np), [&](std::size_t b, std::size_t e) {
+        for (std::size_t pi = b; pi < e; ++pi) {
+          const auto& es = pb.path_edges(static_cast<int>(pi));
+          if (es.empty()) continue;
+          double* out = agg.row_ptr(static_cast<int>(pi));
+          for (topo::EdgeId ei : es) {
+            const double* er = edges.row_ptr(ei);
+            for (int c = 0; c < d; ++c) out[c] += er[c];
+          }
+          const double inv = 1.0 / static_cast<double>(es.size());
+          for (int c = 0; c < d; ++c) out[c] *= inv;
+        }
+      });
+}
+
+void FlowGnn::scatter_grad_edges_from_paths(const te::Problem& pb, const nn::Mat& g_agg,
+                                            nn::Mat& g_paths) const {
+  // Transpose of aggregate_paths_to_edges: each path on edge e receives
+  // g_agg(e) / |paths_on_edge(e)|. Parallelized over paths (gather form) to
+  // stay race-free.
+  const int np = pb.total_paths();
+  const int d = g_agg.cols();
+  util::ThreadPool::global().parallel_chunks(
+      static_cast<std::size_t>(np), [&](std::size_t b, std::size_t e) {
+        for (std::size_t pi = b; pi < e; ++pi) {
+          double* out = g_paths.row_ptr(static_cast<int>(pi));
+          for (topo::EdgeId ei : pb.path_edges(static_cast<int>(pi))) {
+            const auto cnt = static_cast<double>(pb.paths_on_edge(ei).size());
+            const double* gr = g_agg.row_ptr(ei);
+            for (int c = 0; c < d; ++c) out[c] += gr[c] / cnt;
+          }
+        }
+      });
+}
+
+void FlowGnn::scatter_grad_paths_from_edges(const te::Problem& pb, const nn::Mat& g_agg,
+                                            nn::Mat& g_edges) const {
+  const int ne = pb.graph().num_edges();
+  const int d = g_agg.cols();
+  util::ThreadPool::global().parallel_chunks(
+      static_cast<std::size_t>(ne), [&](std::size_t b, std::size_t e) {
+        for (std::size_t ei = b; ei < e; ++ei) {
+          double* out = g_edges.row_ptr(static_cast<int>(ei));
+          // Gather from each path traversing this edge: that path's agg
+          // divided by the path's own edge count.
+          for (int p : pb.paths_on_edge(static_cast<topo::EdgeId>(ei))) {
+            const auto cnt = static_cast<double>(pb.path_edges(p).size());
+            const double* gr = g_agg.row_ptr(p);
+            for (int c = 0; c < d; ++c) out[c] += gr[c] / cnt;
+          }
+        }
+      });
+}
+
+FlowGnn::Forward FlowGnn::forward(const te::Problem& pb, const te::TrafficMatrix& tm,
+                                  const std::vector<double>* capacities) const {
+  const int ne = pb.graph().num_edges();
+  const int np = pb.total_paths();
+  const int nd = pb.num_demands();
+  const int k = k_paths_;
+
+  Forward fwd;
+  fwd.blocks.resize(static_cast<std::size_t>(cfg_.n_blocks));
+
+  // Initial 1-dim features, normalized by the mean link capacity so both
+  // entities live on comparable scales (§3.2).
+  std::vector<double> caps = capacities ? *capacities : pb.capacities();
+  double mean_cap = 1e-9;
+  for (double c : caps) mean_cap += c;
+  mean_cap /= std::max<std::size_t>(1, caps.size());
+  fwd.edge_feat0 = nn::Mat(ne, 1);
+  for (int e = 0; e < ne; ++e) fwd.edge_feat0.at(e, 0) = caps[static_cast<std::size_t>(e)] / mean_cap;
+  fwd.path_feat0 = nn::Mat(np, 1);
+  for (int p = 0; p < np; ++p) {
+    fwd.path_feat0.at(p, 0) =
+        tm.volume[static_cast<std::size_t>(pb.demand_of_path(p))] / mean_cap;
+  }
+
+  nn::Mat edge_cur = widen_to(fwd.edge_feat0, fwd.edge_feat0, dims_[0]);
+  nn::Mat path_cur = widen_to(fwd.path_feat0, fwd.path_feat0, dims_[0]);
+
+  for (int l = 0; l < cfg_.n_blocks; ++l) {
+    auto& blk = fwd.blocks[static_cast<std::size_t>(l)];
+    const int d = dims_[static_cast<std::size_t>(l)];
+    blk.edge_in = std::move(edge_cur);
+    blk.path_in = std::move(path_cur);
+
+    // --- GNN layer: synchronous bipartite message passing.
+    nn::Mat agg_e, agg_p;
+    aggregate_paths_to_edges(pb, blk.path_in, agg_e);
+    aggregate_edges_to_paths(pb, blk.edge_in, agg_p);
+    concat_cols(blk.edge_in, agg_e, blk.edge_cat);
+    concat_cols(blk.path_in, agg_p, blk.path_cat);
+    edge_linear_[static_cast<std::size_t>(l)].forward(blk.edge_cat, blk.edge_pre);
+    path_linear_[static_cast<std::size_t>(l)].forward(blk.path_cat, blk.path_pre);
+    nn::leaky_relu_forward(blk.edge_pre, blk.edge_act, cfg_.leaky_alpha);
+    nn::Mat path_act;
+    nn::leaky_relu_forward(blk.path_pre, path_act, cfg_.leaky_alpha);
+
+    // --- DNN layer: coordinate the k paths of each demand.
+    blk.dnn_in = nn::Mat(nd, k * d);
+    for (int dem = 0; dem < nd; ++dem) {
+      double* row = blk.dnn_in.row_ptr(dem);
+      int slot = 0;
+      for (int p = pb.path_begin(dem); p < pb.path_end(dem); ++p, ++slot) {
+        std::copy(path_act.row_ptr(p), path_act.row_ptr(p) + d, row + slot * d);
+      }
+    }
+    dnn_linear_[static_cast<std::size_t>(l)].forward(blk.dnn_in, blk.dnn_pre);
+    nn::Mat dnn_act;
+    nn::leaky_relu_forward(blk.dnn_pre, dnn_act, cfg_.leaky_alpha);
+    blk.path_out = nn::Mat(np, d);
+    for (int dem = 0; dem < nd; ++dem) {
+      const double* row = dnn_act.row_ptr(dem);
+      int slot = 0;
+      for (int p = pb.path_begin(dem); p < pb.path_end(dem); ++p, ++slot) {
+        std::copy(row + slot * d, row + (slot + 1) * d, blk.path_out.row_ptr(p));
+      }
+    }
+
+    // --- Widen toward the next block's dimension, refilled with the
+    // initialization value (§4).
+    if (l + 1 < cfg_.n_blocks) {
+      const int next = dims_[static_cast<std::size_t>(l) + 1];
+      edge_cur = widen_to(blk.edge_act, fwd.edge_feat0, next);
+      path_cur = widen_to(blk.path_out, fwd.path_feat0, next);
+    } else {
+      fwd.final_paths = blk.path_out;
+    }
+  }
+  return fwd;
+}
+
+void FlowGnn::backward(const te::Problem& pb, const Forward& fwd,
+                       const nn::Mat& grad_final_paths) {
+  const int ne = pb.graph().num_edges();
+  const int np = pb.total_paths();
+  const int nd = pb.num_demands();
+  const int k = k_paths_;
+
+  nn::Mat g_path_out = grad_final_paths;            // d(loss)/d(block path_out)
+  nn::Mat g_edge_out(ne, dims_.back());             // last block's edge output unused
+
+  for (int l = cfg_.n_blocks - 1; l >= 0; --l) {
+    const auto& blk = fwd.blocks[static_cast<std::size_t>(l)];
+    const int d = dims_[static_cast<std::size_t>(l)];
+
+    // --- DNN layer backward.
+    nn::Mat g_dnn_act(nd, k * d);
+    for (int dem = 0; dem < nd; ++dem) {
+      double* row = g_dnn_act.row_ptr(dem);
+      int slot = 0;
+      for (int p = pb.path_begin(dem); p < pb.path_end(dem); ++p, ++slot) {
+        std::copy(g_path_out.row_ptr(p), g_path_out.row_ptr(p) + d, row + slot * d);
+      }
+    }
+    nn::Mat g_dnn_pre, g_dnn_in;
+    nn::leaky_relu_backward(blk.dnn_pre, g_dnn_act, g_dnn_pre, cfg_.leaky_alpha);
+    dnn_linear_[static_cast<std::size_t>(l)].backward(blk.dnn_in, g_dnn_pre, g_dnn_in);
+    nn::Mat g_path_act(np, d);
+    for (int dem = 0; dem < nd; ++dem) {
+      const double* row = g_dnn_in.row_ptr(dem);
+      int slot = 0;
+      for (int p = pb.path_begin(dem); p < pb.path_end(dem); ++p, ++slot) {
+        std::copy(row + slot * d, row + (slot + 1) * d, g_path_act.row_ptr(p));
+      }
+    }
+
+    // --- GNN layer backward (edge and path updates are independent given the
+    // block inputs, because message passing is synchronous).
+    nn::Mat g_path_pre, g_path_cat;
+    nn::leaky_relu_backward(blk.path_pre, g_path_act, g_path_pre, cfg_.leaky_alpha);
+    path_linear_[static_cast<std::size_t>(l)].backward(blk.path_cat, g_path_pre, g_path_cat);
+
+    nn::Mat g_edge_pre, g_edge_cat;
+    nn::leaky_relu_backward(blk.edge_pre, g_edge_out, g_edge_pre, cfg_.leaky_alpha);
+    edge_linear_[static_cast<std::size_t>(l)].backward(blk.edge_cat, g_edge_pre, g_edge_cat);
+
+    // Split the concat grads: [self | agg].
+    nn::Mat g_path_in(np, d), g_edge_in(ne, d);
+    nn::Mat g_agg_edges(np, d);  // grad of aggregate_edges_to_paths output
+    for (int p = 0; p < np; ++p) {
+      const double* src = g_path_cat.row_ptr(p);
+      std::copy(src, src + d, g_path_in.row_ptr(p));
+      std::copy(src + d, src + 2 * d, g_agg_edges.row_ptr(p));
+    }
+    nn::Mat g_agg_paths(ne, d);  // grad of aggregate_paths_to_edges output
+    for (int e = 0; e < ne; ++e) {
+      const double* src = g_edge_cat.row_ptr(e);
+      std::copy(src, src + d, g_edge_in.row_ptr(e));
+      std::copy(src + d, src + 2 * d, g_agg_paths.row_ptr(e));
+    }
+    // Aggregation transposes.
+    scatter_grad_paths_from_edges(pb, g_agg_edges, g_edge_in);
+    scatter_grad_edges_from_paths(pb, g_agg_paths, g_path_in);
+
+    // --- Widening backward: the previous block's outputs are the leading
+    // columns of this block's inputs (appended init columns are constants).
+    if (l > 0) {
+      const int prev = dims_[static_cast<std::size_t>(l) - 1];
+      g_path_out = nn::Mat(np, prev);
+      for (int p = 0; p < np; ++p) {
+        std::copy(g_path_in.row_ptr(p), g_path_in.row_ptr(p) + prev, g_path_out.row_ptr(p));
+      }
+      g_edge_out = nn::Mat(ne, prev);
+      for (int e = 0; e < ne; ++e) {
+        std::copy(g_edge_in.row_ptr(e), g_edge_in.row_ptr(e) + prev, g_edge_out.row_ptr(e));
+      }
+    }
+  }
+}
+
+std::vector<nn::Param*> FlowGnn::params() {
+  std::vector<nn::Param*> ps;
+  for (auto& l : edge_linear_) {
+    for (auto* p : l.params()) ps.push_back(p);
+  }
+  for (auto& l : path_linear_) {
+    for (auto* p : l.params()) ps.push_back(p);
+  }
+  for (auto& l : dnn_linear_) {
+    for (auto* p : l.params()) ps.push_back(p);
+  }
+  return ps;
+}
+
+}  // namespace teal::core

@@ -1,0 +1,104 @@
+// flow_gnn.h — the FlowGNN feature extractor (§3.2, §4).
+//
+// FlowGNN is a flow-centric GNN: the *graph attributes* are not WAN sites but
+// flow-related entities — one EdgeNode per directed link and one PathNode per
+// preconfigured path. An EdgeNode and a PathNode are adjacent iff the edge
+// lies on the path. The network alternates between
+//   * GNN layers (bipartite message passing EdgeNodes <-> PathNodes) that
+//     capture capacity constraints, and
+//   * DNN layers (a shared fully-connected layer applied per demand to the
+//     concatenation of that demand's PathNode embeddings) that capture demand
+//     constraints — PathNodes of the same demand are not otherwise connected.
+//
+// Initialization follows §3.2: EdgeNode embeddings start from the link
+// capacity, PathNode embeddings from the demand volume (both normalized by
+// the mean link capacity). Per §4 the embedding starts at one element and is
+// widened by one element after every block, refilled with the initialization
+// value (the expressiveness technique of Nair et al.); with the default 6
+// blocks the final embeddings have 6 elements.
+//
+// Everything is implemented with explicit forward caches and hand-written
+// backward passes — the model is small enough that a full autograd engine
+// would be pure overhead.
+#pragma once
+
+#include <vector>
+
+#include "nn/module.h"
+#include "te/problem.h"
+
+namespace teal::core {
+
+struct FlowGnnConfig {
+  int n_blocks = 6;   // GNN+DNN blocks (Fig 15a sweeps 4/6/8/10)
+  int final_dim = 0;  // final embedding elements; 0 = n_blocks, the paper's
+                      // default of +1 element per layer (Fig 15b sweeps 6/12/24)
+  double leaky_alpha = 0.01;
+};
+
+// Resolved final embedding dimension for a config.
+inline int effective_final_dim(const FlowGnnConfig& cfg) {
+  return cfg.final_dim > 0 ? cfg.final_dim : cfg.n_blocks;
+}
+
+class FlowGnn {
+ public:
+  FlowGnn() = default;  // empty shell; assign a properly constructed one
+
+  // The layer shapes depend on k_paths (DNN layers act on k concatenated
+  // path embeddings), so construction takes the problem's k.
+  FlowGnn(const FlowGnnConfig& cfg, int k_paths, util::Rng& rng);
+
+  struct Forward {
+    // Per-block caches needed by backward.
+    struct Block {
+      nn::Mat edge_in, path_in;      // block inputs (N_e x d), (N_p x d)
+      nn::Mat edge_cat, path_cat;    // concat [self, agg] inputs to the linears
+      nn::Mat edge_pre, path_pre;    // pre-activations
+      nn::Mat edge_act, path_act;    // post-activations (edge output of block)
+      nn::Mat dnn_in, dnn_pre;       // per-demand concat (D x k*d) and pre-act
+      nn::Mat path_out;              // paths after the DNN layer (N_p x d)
+    };
+    std::vector<Block> blocks;
+    nn::Mat edge_feat0, path_feat0;  // initial 1-dim features (for widening)
+    nn::Mat final_paths;             // (N_p x n_blocks) final path embeddings
+  };
+
+  // Runs the GNN over the problem structure with the given per-interval
+  // inputs. `capacities` may override the graph's (link failures, §5.3).
+  Forward forward(const te::Problem& pb, const te::TrafficMatrix& tm,
+                  const std::vector<double>* capacities = nullptr) const;
+
+  // Backpropagates `grad_final_paths` (same shape as Forward::final_paths),
+  // accumulating parameter gradients.
+  void backward(const te::Problem& pb, const Forward& fwd, const nn::Mat& grad_final_paths);
+
+  std::vector<nn::Param*> params();
+
+  int final_dim() const { return dims_.empty() ? 0 : dims_.back(); }
+  // Working embedding dimension of block l.
+  int block_dim(int l) const { return dims_[static_cast<std::size_t>(l)]; }
+  const FlowGnnConfig& config() const { return cfg_; }
+  int k_paths() const { return k_paths_; }
+
+ private:
+  // Message passing helpers (agg = mean over bipartite neighbors).
+  void aggregate_paths_to_edges(const te::Problem& pb, const nn::Mat& paths,
+                                nn::Mat& agg) const;
+  void aggregate_edges_to_paths(const te::Problem& pb, const nn::Mat& edges,
+                                nn::Mat& agg) const;
+  void scatter_grad_edges_from_paths(const te::Problem& pb, const nn::Mat& g_agg,
+                                     nn::Mat& g_edges) const;
+  void scatter_grad_paths_from_edges(const te::Problem& pb, const nn::Mat& g_agg,
+                                     nn::Mat& g_paths) const;
+
+  FlowGnnConfig cfg_;
+  int k_paths_ = 0;
+  // Working dim per block: interpolated from 1 up to effective_final_dim by
+  // widening (appending init-value columns) between blocks (§4).
+  std::vector<int> dims_;
+  // Per block: edge-update, path-update (input 2d -> d) and DNN (k*d -> k*d).
+  std::vector<nn::Linear> edge_linear_, path_linear_, dnn_linear_;
+};
+
+}  // namespace teal::core

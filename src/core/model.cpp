@@ -1,0 +1,68 @@
+#include "core/model.h"
+
+namespace teal::core {
+
+TealModel::TealModel(const TealModelConfig& cfg, int k_paths, std::uint64_t seed)
+    : cfg_(cfg), k_(k_paths), init_rng_(seed),
+      gnn_(cfg.gnn, k_paths, init_rng_),
+      policy_(cfg.policy, k_paths * effective_final_dim(cfg.gnn), k_paths, init_rng_) {}
+
+TealModel::Forward TealModel::forward(const te::Problem& pb, const te::TrafficMatrix& tm,
+                                      const std::vector<double>* capacities) const {
+  Forward fwd;
+  fwd.gnn = gnn_.forward(pb, tm, capacities);
+  nn::Mat input;
+  build_policy_input(pb, fwd.gnn.final_paths, k_, input, fwd.mask);
+  fwd.policy = policy_.forward(input);
+  fwd.logits = fwd.policy.logits;
+  return fwd;
+}
+
+void TealModel::backward(const te::Problem& pb, const Forward& fwd,
+                         const nn::Mat& grad_logits) {
+  nn::Mat grad_input;
+  policy_.backward(fwd.policy, grad_logits, grad_input);
+  nn::Mat grad_paths(pb.total_paths(), gnn_.final_dim());
+  scatter_policy_input_grad(pb, grad_input, k_, gnn_.final_dim(), grad_paths);
+  gnn_.backward(pb, fwd.gnn, grad_paths);
+}
+
+std::vector<nn::Param*> TealModel::params() {
+  auto ps = gnn_.params();
+  for (auto* p : policy_.params()) ps.push_back(p);
+  return ps;
+}
+
+ModelForward TealModel::forward_m(const te::Problem& pb, const te::TrafficMatrix& tm,
+                                  const std::vector<double>* capacities) const {
+  auto typed = std::make_shared<Forward>(forward(pb, tm, capacities));
+  ModelForward out;
+  out.logits = typed->logits;
+  out.mask = typed->mask;
+  out.cache = typed;
+  return out;
+}
+
+void TealModel::backward_m(const te::Problem& pb, const ModelForward& fwd,
+                           const nn::Mat& grad_logits) {
+  backward(pb, *std::static_pointer_cast<Forward>(fwd.cache), grad_logits);
+}
+
+nn::Mat splits_from_logits(const nn::Mat& logits, const nn::Mat& mask) {
+  nn::Mat splits;
+  nn::softmax_rows(logits, mask, splits);
+  return splits;
+}
+
+te::Allocation allocation_from_splits(const te::Problem& pb, const nn::Mat& splits) {
+  te::Allocation a = pb.empty_allocation();
+  for (int d = 0; d < pb.num_demands(); ++d) {
+    int slot = 0;
+    for (int p = pb.path_begin(d); p < pb.path_end(d) && slot < splits.cols(); ++p, ++slot) {
+      a.split[static_cast<std::size_t>(p)] = splits.at(d, slot);
+    }
+  }
+  return a;
+}
+
+}  // namespace teal::core

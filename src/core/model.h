@@ -1,0 +1,92 @@
+// model.h — Teal's end-to-end "model": FlowGNN + shared policy network.
+//
+// This is the object that gets trained (per WAN topology and per TE
+// objective, §4) and later queried at deployment time. forward() produces a
+// (D, k) matrix of policy logits plus the path-validity mask; turning logits
+// into split ratios (softmax, or Gaussian exploration during training) is the
+// trainer's/scheme's business.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/flow_gnn.h"
+#include "core/policy_net.h"
+
+namespace teal::core {
+
+// Type-erased forward result shared by TealModel and the Figure 14 ablation
+// variants: per-demand policy logits, the path-validity mask, and an opaque
+// cache the owning model needs for its hand-written backward pass.
+struct ModelForward {
+  nn::Mat logits;  // (D, k)
+  nn::Mat mask;    // (D, k)
+  std::shared_ptr<void> cache;
+};
+
+// Interface the trainers (COMA*, direct loss) operate on, so the same
+// training loop drives Teal and every ablation variant (§5.7).
+class Model {
+ public:
+  virtual ~Model() = default;
+
+  virtual ModelForward forward_m(const te::Problem& pb, const te::TrafficMatrix& tm,
+                                 const std::vector<double>* capacities = nullptr) const = 0;
+  virtual void backward_m(const te::Problem& pb, const ModelForward& fwd,
+                          const nn::Mat& grad_logits) = 0;
+  virtual std::vector<nn::Param*> params() = 0;
+  virtual int k_paths() const = 0;
+
+  void save(const std::string& path) { nn::save_params(path, params()); }
+  bool load(const std::string& path) { return nn::load_params(path, params()); }
+};
+
+struct TealModelConfig {
+  FlowGnnConfig gnn;
+  PolicyConfig policy;
+};
+
+class TealModel : public Model {
+ public:
+  TealModel(const TealModelConfig& cfg, int k_paths, std::uint64_t seed = 42);
+
+  struct Forward {
+    FlowGnn::Forward gnn;
+    PolicyNet::Forward policy;
+    nn::Mat mask;    // (D, k) path validity
+    nn::Mat logits;  // (D, k), alias of policy.logits
+  };
+
+  Forward forward(const te::Problem& pb, const te::TrafficMatrix& tm,
+                  const std::vector<double>* capacities = nullptr) const;
+
+  // Backward from d(loss)/d(logits) through the policy net and FlowGNN.
+  void backward(const te::Problem& pb, const Forward& fwd, const nn::Mat& grad_logits);
+
+  // Model interface (type-erased wrappers over the typed forward/backward).
+  ModelForward forward_m(const te::Problem& pb, const te::TrafficMatrix& tm,
+                         const std::vector<double>* capacities = nullptr) const override;
+  void backward_m(const te::Problem& pb, const ModelForward& fwd,
+                  const nn::Mat& grad_logits) override;
+  std::vector<nn::Param*> params() override;
+
+  int k_paths() const override { return k_; }
+  const TealModelConfig& config() const { return cfg_; }
+
+ private:
+  TealModelConfig cfg_;
+  int k_;
+  util::Rng init_rng_;  // declared before the networks: it seeds their init
+  FlowGnn gnn_;
+  PolicyNet policy_;
+};
+
+// Converts logits + mask into per-demand split ratios via masked softmax.
+// Rows with no valid path stay all-zero.
+nn::Mat splits_from_logits(const nn::Mat& logits, const nn::Mat& mask);
+
+// Writes a (D, k) split matrix into a flat Allocation on the problem's global
+// path id space.
+te::Allocation allocation_from_splits(const te::Problem& pb, const nn::Mat& splits);
+
+}  // namespace teal::core

@@ -1,0 +1,87 @@
+#include "core/policy_net.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace teal::core {
+
+PolicyNet::PolicyNet(const PolicyConfig& cfg, int in_dim, int k_paths, util::Rng& rng)
+    : cfg_(cfg), in_dim_(in_dim), k_paths_(k_paths) {
+  if (cfg.n_hidden_layers < 0) throw std::invalid_argument("PolicyNet: bad layer count");
+  int cur = in_dim;
+  for (int i = 0; i < cfg.n_hidden_layers; ++i) {
+    hidden_.emplace_back(cur, cfg.hidden_dim, rng);
+    cur = cfg.hidden_dim;
+  }
+  out_ = nn::Linear(cur, k_paths, rng);
+}
+
+PolicyNet::Forward PolicyNet::forward(const nn::Mat& input) const {
+  Forward fwd;
+  fwd.input = input;
+  const nn::Mat* cur = &fwd.input;
+  fwd.pre.resize(hidden_.size());
+  fwd.act.resize(hidden_.size());
+  for (std::size_t i = 0; i < hidden_.size(); ++i) {
+    hidden_[i].forward(*cur, fwd.pre[i]);
+    nn::leaky_relu_forward(fwd.pre[i], fwd.act[i], cfg_.leaky_alpha);
+    cur = &fwd.act[i];
+  }
+  out_.forward(*cur, fwd.logits);
+  return fwd;
+}
+
+void PolicyNet::backward(const Forward& fwd, const nn::Mat& grad_logits, nn::Mat& grad_input) {
+  const nn::Mat* last = fwd.act.empty() ? &fwd.input : &fwd.act.back();
+  nn::Mat g_cur;
+  out_.backward(*last, grad_logits, g_cur);
+  for (int i = static_cast<int>(hidden_.size()) - 1; i >= 0; --i) {
+    nn::Mat g_pre;
+    nn::leaky_relu_backward(fwd.pre[static_cast<std::size_t>(i)], g_cur, g_pre,
+                            cfg_.leaky_alpha);
+    const nn::Mat* input = i == 0 ? &fwd.input : &fwd.act[static_cast<std::size_t>(i) - 1];
+    hidden_[static_cast<std::size_t>(i)].backward(*input, g_pre, g_cur);
+  }
+  grad_input = std::move(g_cur);
+}
+
+std::vector<nn::Param*> PolicyNet::params() {
+  std::vector<nn::Param*> ps;
+  for (auto& l : hidden_) {
+    for (auto* p : l.params()) ps.push_back(p);
+  }
+  for (auto* p : out_.params()) ps.push_back(p);
+  return ps;
+}
+
+void build_policy_input(const te::Problem& pb, const nn::Mat& path_embeddings, int k,
+                        nn::Mat& input, nn::Mat& mask) {
+  const int nd = pb.num_demands();
+  const int dim = path_embeddings.cols();
+  input = nn::Mat(nd, k * dim);
+  mask = nn::Mat(nd, k);
+  for (int d = 0; d < nd; ++d) {
+    double* row = input.row_ptr(d);
+    int slot = 0;
+    for (int p = pb.path_begin(d); p < pb.path_end(d) && slot < k; ++p, ++slot) {
+      std::copy(path_embeddings.row_ptr(p), path_embeddings.row_ptr(p) + dim,
+                row + slot * dim);
+      mask.at(d, slot) = 1.0;
+    }
+  }
+}
+
+void scatter_policy_input_grad(const te::Problem& pb, const nn::Mat& grad_input, int k,
+                               int dim, nn::Mat& grad_paths) {
+  const int nd = pb.num_demands();
+  for (int d = 0; d < nd; ++d) {
+    const double* row = grad_input.row_ptr(d);
+    int slot = 0;
+    for (int p = pb.path_begin(d); p < pb.path_end(d) && slot < k; ++p, ++slot) {
+      double* dst = grad_paths.row_ptr(p);
+      for (int c = 0; c < dim; ++c) dst[c] += row[slot * dim + c];
+    }
+  }
+}
+
+}  // namespace teal::core

@@ -1,0 +1,65 @@
+// policy_net.h — the shared per-demand policy network (§3.3, §4).
+//
+// Each demand is allocated *independently* by one RL agent; all agents share
+// this network. Per §4, the default shape is: 24 input neurons (4 flow
+// embeddings of 6 elements each), one hidden layer of 24 neurons, and 4
+// output neurons followed by softmax normalization into split ratios. The
+// number of dense layers is configurable for the Figure 15c sensitivity
+// sweep. Because the network is per-demand, its parameter count is oblivious
+// to the WAN topology size — the property that makes learning tractable.
+#pragma once
+
+#include <vector>
+
+#include "nn/module.h"
+#include "te/problem.h"
+
+namespace teal::core {
+
+struct PolicyConfig {
+  int hidden_dim = 24;
+  int n_hidden_layers = 1;   // dense layers before the output layer
+  double leaky_alpha = 0.01;
+};
+
+class PolicyNet {
+ public:
+  // in_dim = k_paths * embedding_dim; out_dim = k_paths.
+  PolicyNet(const PolicyConfig& cfg, int in_dim, int k_paths, util::Rng& rng);
+
+  struct Forward {
+    nn::Mat input;                 // (D, in_dim)
+    std::vector<nn::Mat> pre;      // hidden pre-activations
+    std::vector<nn::Mat> act;      // hidden activations
+    nn::Mat logits;                // (D, k)
+  };
+
+  // `input` rows are per-demand concatenated path embeddings (zero-padded for
+  // demands with fewer than k paths).
+  Forward forward(const nn::Mat& input) const;
+
+  // Backward from d(loss)/d(logits); writes d(loss)/d(input).
+  void backward(const Forward& fwd, const nn::Mat& grad_logits, nn::Mat& grad_input);
+
+  std::vector<nn::Param*> params();
+
+  int k_paths() const { return k_paths_; }
+  int in_dim() const { return in_dim_; }
+
+ private:
+  PolicyConfig cfg_;
+  int in_dim_, k_paths_;
+  std::vector<nn::Linear> hidden_;
+  nn::Linear out_;
+};
+
+// Assembles the (D, k*dim) policy input matrix from final path embeddings and
+// the (D, k) validity mask (1 where the demand has an i-th path).
+void build_policy_input(const te::Problem& pb, const nn::Mat& path_embeddings, int k,
+                        nn::Mat& input, nn::Mat& mask);
+
+// Scatters d(loss)/d(policy input) back into a (N_p, dim) path-embedding grad.
+void scatter_policy_input_grad(const te::Problem& pb, const nn::Mat& grad_input, int k,
+                               int dim, nn::Mat& grad_paths);
+
+}  // namespace teal::core

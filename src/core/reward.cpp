@@ -1,0 +1,129 @@
+#include "core/reward.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/model.h"
+#include "lp/path_lp.h"
+
+namespace teal::core {
+
+RewardSimulator::RewardSimulator(const te::Problem& pb, te::Objective obj,
+                                 double latency_penalty)
+    : pb_(pb), obj_(obj), latency_penalty_(latency_penalty) {
+  if (obj == te::Objective::kLatencyPenalizedFlow) {
+    path_weight_ = lp::latency_penalty_weights(pb, latency_penalty);
+  } else {
+    path_weight_.assign(static_cast<std::size_t>(pb.total_paths()), 1.0);
+  }
+}
+
+void RewardSimulator::set_state(const te::TrafficMatrix& tm,
+                                const std::vector<double>& capacities,
+                                const nn::Mat& splits) {
+  tm_ = &tm;
+  caps_ = capacities;
+  splits_ = splits;
+  te::Allocation a = allocation_from_splits(pb_, splits);
+  load_ = te::edge_loads(pb_, tm, a);
+  switch (obj_) {
+    case te::Objective::kTotalFlow:
+      global_reward_ = te::total_feasible_flow(pb_, tm, a, &caps_);
+      break;
+    case te::Objective::kMinMaxLinkUtil:
+      global_reward_ = -te::max_link_utilization(pb_, tm, a, &caps_);
+      break;
+    case te::Objective::kLatencyPenalizedFlow:
+      global_reward_ = te::latency_penalized_flow(pb_, tm, a, latency_penalty_, &caps_);
+      break;
+  }
+}
+
+RewardSimulator::Scratch RewardSimulator::make_scratch() const {
+  Scratch s;
+  s.edge_load_delta.assign(static_cast<std::size_t>(pb_.graph().num_edges()), 0.0);
+  s.touched.reserve(64);
+  return s;
+}
+
+double RewardSimulator::value_of(int d, const double* candidate, Scratch& scratch) const {
+  const double vol = tm_->volume[static_cast<std::size_t>(d)];
+  scratch.touched.clear();
+
+  // Replace demand d's contribution on every edge its paths touch.
+  int slot = 0;
+  for (int p = pb_.path_begin(d); p < pb_.path_end(d); ++p, ++slot) {
+    const double old_f = splits_.at(d, slot) * vol;
+    const double new_f = std::max(0.0, candidate[slot]) * vol;
+    const double delta = new_f - old_f;
+    for (topo::EdgeId e : pb_.path_edges(p)) {
+      auto es = static_cast<std::size_t>(e);
+      if (scratch.edge_load_delta[es] == 0.0) scratch.touched.push_back(e);
+      scratch.edge_load_delta[es] += delta;
+    }
+  }
+  // Note: an edge whose delta sums back to exactly zero may be listed twice in
+  // `touched`; harmless for the computation below (idempotent reads).
+
+  auto factor_at = [&](topo::EdgeId e, double load) {
+    double c = caps_[static_cast<std::size_t>(e)];
+    if (load <= c) return 1.0;
+    return load > 0.0 ? c / load : 1.0;
+  };
+
+  double value = 0.0;
+  if (obj_ == te::Objective::kMinMaxLinkUtil) {
+    // Local MLU proxy: the worst utilization among edges this demand can see.
+    double worst = 0.0;
+    slot = 0;
+    for (int p = pb_.path_begin(d); p < pb_.path_end(d); ++p, ++slot) {
+      for (topo::EdgeId e : pb_.path_edges(p)) {
+        auto es = static_cast<std::size_t>(e);
+        double c = caps_[es];
+        double ld = load_[es] + scratch.edge_load_delta[es];
+        worst = std::max(worst, c > 0.0 ? ld / c : (ld > 0.0 ? 1e9 : 0.0));
+      }
+    }
+    value = -worst;
+  } else {
+    // Own delivered (latency-weighted if applicable).
+    slot = 0;
+    for (int p = pb_.path_begin(d); p < pb_.path_end(d); ++p, ++slot) {
+      const double f = std::max(0.0, candidate[slot]) * vol;
+      if (f <= 0.0) continue;
+      double surv = 1.0;
+      for (topo::EdgeId e : pb_.path_edges(p)) {
+        auto es = static_cast<std::size_t>(e);
+        surv = std::min(surv, factor_at(e, load_[es] + scratch.edge_load_delta[es]));
+      }
+      value += path_weight_[static_cast<std::size_t>(p)] * f * surv;
+    }
+    // Externality on other flows sharing the touched edges: their intended
+    // volume scaled by the (possibly degraded) survival factor.
+    for (topo::EdgeId e : scratch.touched) {
+      auto es = static_cast<std::size_t>(e);
+      double new_load = load_[es] + scratch.edge_load_delta[es];
+      // Others' intended volume on e under the *current* joint action: total
+      // minus this demand's current contribution.
+      double own_old = 0.0;
+      int s2 = 0;
+      for (int p = pb_.path_begin(d); p < pb_.path_end(d); ++p, ++s2) {
+        for (topo::EdgeId pe : pb_.path_edges(p)) {
+          if (pe == e) own_old += splits_.at(d, s2) * vol;
+        }
+      }
+      double others = std::max(0.0, load_[es] - own_old);
+      value += others * factor_at(e, new_load);
+    }
+  }
+
+  // Reset scratch.
+  for (topo::EdgeId e : scratch.touched) {
+    scratch.edge_load_delta[static_cast<std::size_t>(e)] = 0.0;
+  }
+  return value;
+}
+
+double RewardSimulator::global_reward() const { return global_reward_; }
+
+}  // namespace teal::core

@@ -1,0 +1,72 @@
+// reward.h — the TE "environment" used to train Teal with multi-agent RL.
+//
+// COMA* (Appendix B) needs, for every agent i (= demand), the advantage
+//   A_i = R(s, a) - E_{a'_i ~ pi}[ R(s, (a_-i, a'_i)) ]:
+// the global reward of the joint action minus a counterfactual baseline where
+// only agent i resamples its action. Both terms share everything except
+// demand i's contribution, so only the *difference* of i-local terms matters.
+// RewardSimulator exploits this: it fixes the joint edge loads once per step,
+// and evaluates candidate actions of one demand with an edge-local estimate:
+//
+//   value_i(a'_i) = sum over i's paths of f'_p * min_{e in p} factor'(e)
+//                 + sum over touched edges of others'(e) * factor'(e)
+//
+// where factor'(e) = min(1, c_e / load'_e) with load' = joint load with i's
+// contribution replaced, and others'(e) is the intended volume of all other
+// flows on e. The second term charges agent i for the traffic it squeezes
+// out of shared links — the counterfactual contribution COMA estimates. The
+// exact global objective (used as the *reported* reward and for evaluation)
+// is computed by the te::objective functions.
+//
+// Thread safety: value_of() is const and uses caller-provided scratch, so the
+// trainer evaluates all demands' counterfactuals in parallel.
+#pragma once
+
+#include <vector>
+
+#include "nn/mat.h"
+#include "te/objective.h"
+#include "te/problem.h"
+
+namespace teal::core {
+
+class RewardSimulator {
+ public:
+  RewardSimulator(const te::Problem& pb, te::Objective obj, double latency_penalty = 0.5);
+
+  // Fixes the per-interval inputs and the joint action (a (D, k) split
+  // matrix). Recomputes joint loads.
+  void set_state(const te::TrafficMatrix& tm, const std::vector<double>& capacities,
+                 const nn::Mat& splits);
+
+  // Per-thread scratch for value_of.
+  struct Scratch {
+    std::vector<double> edge_load_delta;  // sized num_edges, zero outside calls
+    std::vector<int> touched;             // touched edge ids
+  };
+  Scratch make_scratch() const;
+
+  // Edge-local value of demand d taking candidate splits (k doubles; entries
+  // beyond the demand's path count are ignored). Comparable across candidates
+  // of the same demand within one set_state().
+  double value_of(int d, const double* candidate, Scratch& scratch) const;
+
+  // Exact global objective of the current joint action.
+  double global_reward() const;
+
+  const te::Problem& problem() const { return pb_; }
+
+ private:
+  const te::Problem& pb_;
+  te::Objective obj_;
+  double latency_penalty_;
+  std::vector<double> path_weight_;  // latency weights (1.0 for total flow)
+
+  const te::TrafficMatrix* tm_ = nullptr;
+  std::vector<double> caps_;
+  nn::Mat splits_;
+  std::vector<double> load_;  // joint intended load per edge
+  double global_reward_ = 0.0;
+};
+
+}  // namespace teal::core

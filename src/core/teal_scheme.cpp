@@ -1,0 +1,62 @@
+#include "core/teal_scheme.h"
+
+#include "lp/path_lp.h"
+#include "util/timer.h"
+
+namespace teal::core {
+
+namespace {
+
+AdmmConfig make_admm_config(const te::Problem& pb, const TealSchemeConfig& cfg) {
+  AdmmConfig ac;
+  ac.iterations = cfg.admm_iterations > 0 ? cfg.admm_iterations
+                                          : default_admm_iterations(pb.graph().num_nodes());
+  if (cfg.objective == te::Objective::kLatencyPenalizedFlow) {
+    ac.path_weight = lp::latency_penalty_weights(pb, cfg.latency_penalty);
+  }
+  return ac;
+}
+
+}  // namespace
+
+TealScheme::TealScheme(const te::Problem& pb, std::unique_ptr<Model> model,
+                       const TealSchemeConfig& cfg, std::string name)
+    : model_(std::move(model)), cfg_(cfg), admm_(pb, make_admm_config(pb, cfg)),
+      name_(std::move(name)) {}
+
+te::Allocation TealScheme::solve(const te::Problem& pb, const te::TrafficMatrix& tm) {
+  util::Timer timer;
+  const std::vector<double> caps = pb.capacities();
+  auto fwd = model_->forward_m(pb, tm, &caps);
+  nn::Mat splits = splits_from_logits(fwd.logits, fwd.mask);
+  te::Allocation a = allocation_from_splits(pb, splits);
+  if (cfg_.use_admm) {
+    admm_.fine_tune(tm, caps, a);
+  }
+  last_seconds_ = timer.seconds();
+  return a;
+}
+
+void train_or_load_model(Model& model, const te::Problem& pb, const traffic::Trace& train,
+                         te::Objective objective, const TealTrainOptions& opts) {
+  if (!opts.cache_path.empty() && model.load(opts.cache_path)) return;
+  if (opts.trainer == Trainer::kComaStar) {
+    train_coma(model, pb, train, objective, opts.coma);
+  } else {
+    train_direct_loss(model, pb, train, objective, opts.direct);
+  }
+  if (!opts.cache_path.empty()) {
+    model.save(opts.cache_path);
+  }
+}
+
+std::unique_ptr<TealScheme> make_teal_scheme(const te::Problem& pb,
+                                             const traffic::Trace& train,
+                                             const TealSchemeConfig& cfg,
+                                             const TealTrainOptions& opts) {
+  auto model = std::make_unique<TealModel>(cfg.model, pb.k_paths());
+  train_or_load_model(*model, pb, train, cfg.objective, opts);
+  return std::make_unique<TealScheme>(pb, std::move(model), cfg);
+}
+
+}  // namespace teal::core

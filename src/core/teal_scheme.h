@@ -1,0 +1,77 @@
+// teal_scheme.h — the deployable Teal pipeline (Figure 3).
+//
+// solve() = one forward pass of FlowGNN + policy network (the Gaussian mean
+// is used directly at deployment, Appendix B), masked softmax into split
+// ratios, then 2-5 ADMM fine-tuning iterations. The whole pipeline's flop
+// count is independent of the traffic matrix *values* — the property behind
+// Teal's tightly clustered computation times in Figure 7a.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/admm.h"
+#include "core/coma.h"
+#include "core/direct_loss.h"
+#include "core/model.h"
+#include "te/scheme.h"
+#include "traffic/traffic.h"
+
+namespace teal::core {
+
+struct TealSchemeConfig {
+  TealModelConfig model;
+  te::Objective objective = te::Objective::kTotalFlow;
+  bool use_admm = true;       // §5.5 omits ADMM for the non-default objectives
+  int admm_iterations = -1;   // -1 = paper default (2 if <100 nodes else 5)
+  double latency_penalty = 0.5;
+};
+
+class TealScheme : public te::Scheme {
+ public:
+  // Takes ownership of a trained model. `pb` must outlive the scheme and be
+  // the same Problem object passed to solve() (its path structure is baked
+  // into the ADMM index); capacity changes on it are picked up per solve.
+  // `name` distinguishes the full pipeline from its Figure 14 ablations.
+  TealScheme(const te::Problem& pb, std::unique_ptr<Model> model,
+             const TealSchemeConfig& cfg, std::string name = "Teal");
+
+  std::string name() const override { return name_; }
+  te::Allocation solve(const te::Problem& pb, const te::TrafficMatrix& tm) override;
+  double last_solve_seconds() const override { return last_seconds_; }
+
+  Model& model() { return *model_; }
+  const Admm& admm() const { return admm_; }
+
+ private:
+  std::unique_ptr<Model> model_;
+  TealSchemeConfig cfg_;
+  Admm admm_;
+  std::string name_;
+  double last_seconds_ = 0.0;
+};
+
+// How to train the model inside make_teal_scheme.
+enum class Trainer { kComaStar, kDirectLoss };
+
+struct TealTrainOptions {
+  Trainer trainer = Trainer::kComaStar;
+  ComaConfig coma;
+  DirectLossConfig direct;
+  // If non-empty, load the model from this file when present (and save after
+  // training otherwise) — trained models are reused across bench runs.
+  std::string cache_path;
+};
+
+// Trains `model` with the selected trainer, or loads it from opts.cache_path
+// when the cache file exists (saving after training otherwise).
+void train_or_load_model(Model& model, const te::Problem& pb, const traffic::Trace& train,
+                         te::Objective objective, const TealTrainOptions& opts);
+
+// Builds, trains (or loads) and wraps a Teal model for the given problem.
+std::unique_ptr<TealScheme> make_teal_scheme(const te::Problem& pb,
+                                             const traffic::Trace& train,
+                                             const TealSchemeConfig& cfg,
+                                             const TealTrainOptions& opts = {});
+
+}  // namespace teal::core

@@ -1,0 +1,91 @@
+#include "lp/fleischer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "te/objective.h"
+
+namespace teal::lp {
+
+te::Allocation fleischer_max_flow(const te::Problem& pb, const te::TrafficMatrix& tm,
+                                  const FleischerOptions& opt, FleischerResult* result) {
+  const int ne = pb.graph().num_edges();
+  const int nd = pb.num_demands();
+  const double eps = opt.eps;
+  // Virtual "demand edges" with capacity = volume enforce sum_p F <= 1 via
+  // the same multiplicative-weights machinery.
+  const auto m = static_cast<double>(ne + nd);
+  const double delta = (1.0 + eps) * std::pow((1.0 + eps) * m, -1.0 / eps);
+
+  std::vector<double> cap = pb.capacities();
+  std::vector<double> len_edge(static_cast<std::size_t>(ne));
+  for (int e = 0; e < ne; ++e) {
+    len_edge[static_cast<std::size_t>(e)] =
+        cap[static_cast<std::size_t>(e)] > 0.0 ? delta / cap[static_cast<std::size_t>(e)] : 1e18;
+  }
+  std::vector<double> len_dem(static_cast<std::size_t>(nd));
+  for (int d = 0; d < nd; ++d) {
+    double v = tm.volume[static_cast<std::size_t>(d)];
+    len_dem[static_cast<std::size_t>(d)] = v > 0.0 ? delta / v : 1e18;
+  }
+
+  std::vector<double> raw_flow(static_cast<std::size_t>(pb.total_paths()), 0.0);
+  int iterations = 0;
+
+  // Round-robin over demands: push along any path shorter than 1.
+  bool progress = true;
+  while (progress && iterations < opt.max_phases) {
+    progress = false;
+    for (int d = 0; d < nd; ++d) {
+      const double vol = tm.volume[static_cast<std::size_t>(d)];
+      if (vol <= 0.0) continue;
+      // Min-length candidate path (path length = edge lengths + demand edge).
+      int best = -1;
+      double best_len = 1.0;
+      for (int p = pb.path_begin(d); p < pb.path_end(d); ++p) {
+        double l = len_dem[static_cast<std::size_t>(d)];
+        for (topo::EdgeId e : pb.path_edges(p)) l += len_edge[static_cast<std::size_t>(e)];
+        if (l < best_len) {
+          best_len = l;
+          best = p;
+        }
+      }
+      if (best < 0) continue;
+      // Push the bottleneck of (edge capacities, demand volume).
+      double push = vol;
+      for (topo::EdgeId e : pb.path_edges(best)) {
+        push = std::min(push, cap[static_cast<std::size_t>(e)]);
+      }
+      if (push <= 0.0) continue;
+      raw_flow[static_cast<std::size_t>(best)] += push;
+      for (topo::EdgeId e : pb.path_edges(best)) {
+        auto es = static_cast<std::size_t>(e);
+        len_edge[es] *= 1.0 + eps * push / cap[es];
+      }
+      len_dem[static_cast<std::size_t>(d)] *= 1.0 + eps * push / vol;
+      ++iterations;
+      progress = true;
+    }
+  }
+
+  // Scale to feasibility: divide by log_{1+eps}(1/delta).
+  const double scale = std::log(1.0 / delta) / std::log(1.0 + eps);
+  te::Allocation a = pb.empty_allocation();
+  for (int p = 0; p < pb.total_paths(); ++p) {
+    double vol = tm.volume[static_cast<std::size_t>(pb.demand_of_path(p))];
+    if (vol > 0.0 && scale > 0.0) {
+      a.split[static_cast<std::size_t>(p)] =
+          raw_flow[static_cast<std::size_t>(p)] / (scale * vol);
+    }
+  }
+  // The guarantee leaves slack; a repair pass removes residual rounding
+  // violations so the result is strictly feasible like the LP's.
+  a = te::repair_to_feasible(pb, tm, std::move(a));
+  if (result) {
+    result->iterations = iterations;
+    result->objective = te::total_feasible_flow(pb, tm, a);
+  }
+  return a;
+}
+
+}  // namespace teal::lp

@@ -1,0 +1,41 @@
+// fleischer.h — Fleischer-style multiplicative-weights approximation for the
+// path-formulation maximum multicommodity flow.
+//
+// §2.1 of the paper discusses combinatorial approximation algorithms as a TE
+// acceleration candidate and dismisses them: "despite having a lower time
+// complexity than LP solvers in theory, these approximation algorithms are
+// found to be hardly faster in practice" because they remain iterative,
+// incrementally admitting flow until the (1+eps) guarantee is met. We include
+// a faithful implementation so that claim can be measured (see the
+// approx_lp ablation bench): it exposes the classic eps-vs-runtime tradeoff.
+//
+// Algorithm (Fleischer 2000, adapted to fixed path sets): maintain a length
+// l_e = delta / c_e per edge; repeatedly pick any demand path whose length is
+// below the current phase threshold, push the bottleneck-capacity flow along
+// it scaled so no edge receives more than its capacity in one step, and
+// multiply the lengths of used edges by (1 + eps * pushed / c_e). The final
+// flow, scaled by log_{1+eps}(1/delta), is primal feasible and within
+// (1 - O(eps)) of optimal.
+#pragma once
+
+#include "te/problem.h"
+
+namespace teal::lp {
+
+struct FleischerOptions {
+  double eps = 0.1;          // approximation knob: smaller = better & slower
+  int max_phases = 5000000;  // safety cap (iterations grow ~1/eps^2)
+};
+
+struct FleischerResult {
+  double objective = 0.0;  // total admitted volume (feasible)
+  int iterations = 0;      // flow-push steps performed
+};
+
+// Approximately maximizes total flow over the problem's path sets. The
+// returned allocation is capacity- and demand-feasible.
+te::Allocation fleischer_max_flow(const te::Problem& pb, const te::TrafficMatrix& tm,
+                                  const FleischerOptions& opt = {},
+                                  FleischerResult* result = nullptr);
+
+}  // namespace teal::lp

@@ -1,0 +1,168 @@
+#include "lp/path_lp.h"
+
+#include "te/objective.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace teal::lp {
+
+namespace {
+
+// Maps the (possibly restricted) LP variable space: one variable per path of
+// every active demand.
+struct VarMap {
+  std::vector<int> path_ids;  // LP var -> global path id
+};
+
+VarMap make_var_map(const te::Problem& pb, const std::vector<int>& subset) {
+  VarMap vm;
+  auto add_demand = [&](int d) {
+    for (int p = pb.path_begin(d); p < pb.path_end(d); ++p) vm.path_ids.push_back(p);
+  };
+  if (subset.empty()) {
+    for (int d = 0; d < pb.num_demands(); ++d) add_demand(d);
+  } else {
+    for (int d : subset) {
+      if (d < 0 || d >= pb.num_demands()) throw std::out_of_range("FlowLpSpec: bad demand");
+      add_demand(d);
+    }
+  }
+  return vm;
+}
+
+}  // namespace
+
+te::Allocation solve_flow_lp(const te::Problem& pb, const te::TrafficMatrix& tm,
+                             const FlowLpSpec& spec, const PdhgOptions& opt,
+                             FlowLpInfo* info) {
+  VarMap vm = make_var_map(pb, spec.demand_subset);
+  const int n_vars = static_cast<int>(vm.path_ids.size());
+  std::vector<double> caps = spec.capacities.empty() ? pb.capacities() : spec.capacities;
+  if (static_cast<int>(caps.size()) != pb.graph().num_edges()) {
+    throw std::invalid_argument("solve_flow_lp: capacity vector size mismatch");
+  }
+
+  // Row layout: first one row per active demand, then one row per edge that
+  // carries at least one active path.
+  std::vector<int> demand_row(static_cast<std::size_t>(pb.num_demands()), -1);
+  std::vector<int> edge_row(static_cast<std::size_t>(pb.graph().num_edges()), -1);
+  int n_rows = 0;
+  for (int v = 0; v < n_vars; ++v) {
+    int d = pb.demand_of_path(vm.path_ids[static_cast<std::size_t>(v)]);
+    if (demand_row[static_cast<std::size_t>(d)] < 0) demand_row[static_cast<std::size_t>(d)] = n_rows++;
+  }
+  for (int v = 0; v < n_vars; ++v) {
+    for (topo::EdgeId e : pb.path_edges(vm.path_ids[static_cast<std::size_t>(v)])) {
+      if (edge_row[static_cast<std::size_t>(e)] < 0) edge_row[static_cast<std::size_t>(e)] = n_rows++;
+    }
+  }
+
+  std::vector<Triplet> trips;
+  std::vector<double> b(static_cast<std::size_t>(n_rows), 0.0);
+  std::vector<double> c(static_cast<std::size_t>(n_vars), 0.0);
+  std::vector<double> u(static_cast<std::size_t>(n_vars), 1.0);
+  for (int d = 0; d < pb.num_demands(); ++d) {
+    if (demand_row[static_cast<std::size_t>(d)] >= 0) {
+      b[static_cast<std::size_t>(demand_row[static_cast<std::size_t>(d)])] = 1.0;
+    }
+  }
+  for (topo::EdgeId e = 0; e < pb.graph().num_edges(); ++e) {
+    if (edge_row[static_cast<std::size_t>(e)] >= 0) {
+      b[static_cast<std::size_t>(edge_row[static_cast<std::size_t>(e)])] =
+          std::max(0.0, caps[static_cast<std::size_t>(e)]);
+    }
+  }
+  for (int v = 0; v < n_vars; ++v) {
+    int p = vm.path_ids[static_cast<std::size_t>(v)];
+    int d = pb.demand_of_path(p);
+    double vol = tm.volume[static_cast<std::size_t>(d)];
+    double w = spec.path_weight.empty() ? 1.0 : spec.path_weight[static_cast<std::size_t>(p)];
+    c[static_cast<std::size_t>(v)] = w * vol;
+    trips.push_back(Triplet{demand_row[static_cast<std::size_t>(d)], v, 1.0});
+    if (vol > 0.0) {
+      for (topo::EdgeId e : pb.path_edges(p)) {
+        trips.push_back(Triplet{edge_row[static_cast<std::size_t>(e)], v, vol});
+      }
+    }
+  }
+
+  SparseMatrix a(n_rows, n_vars, trips);
+  PdhgResult r = pdhg_packing(a, b, c, u, opt);
+  if (info) {
+    info->objective = r.objective;
+    info->dual_bound = r.dual_bound;
+    info->iterations = r.iterations;
+    info->converged = r.converged;
+  }
+
+  te::Allocation alloc = pb.empty_allocation();
+  for (int v = 0; v < n_vars; ++v) {
+    alloc.split[static_cast<std::size_t>(vm.path_ids[static_cast<std::size_t>(v)])] =
+        r.x[static_cast<std::size_t>(v)];
+  }
+  return alloc;
+}
+
+double solve_min_mlu(const te::Problem& pb, const te::TrafficMatrix& tm,
+                     const PdhgOptions& opt, te::Allocation* alloc, int bisect_iters) {
+  // Total volume of demands that actually have a path (all demands in a
+  // Problem do, by construction).
+  double total = tm.total();
+  if (total <= 0.0) {
+    if (alloc) *alloc = pb.shortest_path_allocation();
+    return 0.0;
+  }
+  // Upper bound: shortest-path routing (routes everything).
+  te::Allocation sp = pb.shortest_path_allocation();
+  double hi = te::max_link_utilization(pb, tm, sp);
+  double lo = 0.0;
+  te::Allocation best = sp;
+  const std::vector<double> caps = pb.capacities();
+
+  for (int it = 0; it < bisect_iters; ++it) {
+    double t = 0.5 * (lo + hi);
+    if (t <= 0.0) break;
+    std::vector<double> scaled(caps.size());
+    for (std::size_t e = 0; e < caps.size(); ++e) scaled[e] = caps[e] * t;
+    FlowLpSpec spec;
+    spec.capacities = scaled;
+    FlowLpInfo info;
+    te::Allocation a = solve_flow_lp(pb, tm, spec, opt, &info);
+    if (info.objective >= total * (1.0 - 1e-3)) {
+      hi = t;
+      best = std::move(a);
+    } else {
+      lo = t;
+    }
+  }
+  // The bisection's allocation may slightly under-route; top up by pushing the
+  // unrouted remainder onto shortest paths so that all traffic is routed, as
+  // the MLU objective requires.
+  for (int d = 0; d < pb.num_demands(); ++d) {
+    double sum = 0.0;
+    for (int p = pb.path_begin(d); p < pb.path_end(d); ++p) {
+      sum += best.split[static_cast<std::size_t>(p)];
+    }
+    if (sum < 1.0) {
+      best.split[static_cast<std::size_t>(pb.path_begin(d))] += 1.0 - sum;
+    }
+  }
+  double mlu = te::max_link_utilization(pb, tm, best);
+  if (alloc) *alloc = std::move(best);
+  return mlu;
+}
+
+std::vector<double> latency_penalty_weights(const te::Problem& pb, double penalty) {
+  double max_lat = 1e-12;
+  for (int p = 0; p < pb.total_paths(); ++p) max_lat = std::max(max_lat, pb.path_latency(p));
+  std::vector<double> w(static_cast<std::size_t>(pb.total_paths()));
+  for (int p = 0; p < pb.total_paths(); ++p) {
+    w[static_cast<std::size_t>(p)] = std::max(0.0, 1.0 - penalty * pb.path_latency(p) / max_lat);
+  }
+  return w;
+}
+
+}  // namespace teal::lp

@@ -1,0 +1,103 @@
+#include "lp/simplex.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace teal::lp {
+
+SimplexResult simplex_max(const std::vector<std::vector<double>>& a,
+                          const std::vector<double>& b, const std::vector<double>& c,
+                          const SimplexOptions& opt) {
+  const int m = static_cast<int>(a.size());
+  const int n = static_cast<int>(c.size());
+  for (const auto& row : a) {
+    if (static_cast<int>(row.size()) != n) throw std::invalid_argument("simplex: ragged A");
+  }
+  if (static_cast<int>(b.size()) != m) throw std::invalid_argument("simplex: |b| != rows");
+  for (double bi : b) {
+    if (bi < 0.0) throw std::invalid_argument("simplex: requires b >= 0");
+  }
+
+  // Tableau with slack variables: columns [x(n) | s(m) | rhs].
+  const int cols = n + m + 1;
+  std::vector<std::vector<double>> t(static_cast<std::size_t>(m) + 1,
+                                     std::vector<double>(static_cast<std::size_t>(cols), 0.0));
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) t[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] = a[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
+    t[static_cast<std::size_t>(i)][static_cast<std::size_t>(n + i)] = 1.0;
+    t[static_cast<std::size_t>(i)][static_cast<std::size_t>(cols - 1)] = b[static_cast<std::size_t>(i)];
+  }
+  for (int j = 0; j < n; ++j) {
+    t[static_cast<std::size_t>(m)][static_cast<std::size_t>(j)] = -c[static_cast<std::size_t>(j)];
+  }
+  std::vector<int> basis(static_cast<std::size_t>(m));
+  for (int i = 0; i < m; ++i) basis[static_cast<std::size_t>(i)] = n + i;
+
+  SimplexResult res;
+  auto& obj_row = t[static_cast<std::size_t>(m)];
+  for (res.iterations = 0; res.iterations < opt.max_iterations; ++res.iterations) {
+    // Entering variable: most negative reduced cost (Dantzig), with Bland's
+    // rule as an anti-cycling fallback when the improvement is tiny.
+    int pivot_col = -1;
+    double best = -opt.tol;
+    for (int j = 0; j < n + m; ++j) {
+      if (obj_row[static_cast<std::size_t>(j)] < best) {
+        best = obj_row[static_cast<std::size_t>(j)];
+        pivot_col = j;
+      }
+    }
+    if (pivot_col < 0) {
+      res.optimal = true;
+      break;
+    }
+    // Ratio test.
+    int pivot_row = -1;
+    double best_ratio = std::numeric_limits<double>::infinity();
+    for (int i = 0; i < m; ++i) {
+      double aij = t[static_cast<std::size_t>(i)][static_cast<std::size_t>(pivot_col)];
+      if (aij > opt.tol) {
+        double ratio = t[static_cast<std::size_t>(i)][static_cast<std::size_t>(cols - 1)] / aij;
+        if (ratio < best_ratio - opt.tol ||
+            (ratio < best_ratio + opt.tol &&
+             (pivot_row < 0 || basis[static_cast<std::size_t>(i)] <
+                                   basis[static_cast<std::size_t>(pivot_row)]))) {
+          best_ratio = ratio;
+          pivot_row = i;
+        }
+      }
+    }
+    if (pivot_row < 0) {
+      // Unbounded — impossible for a packing LP with finite b, but guard.
+      res.optimal = false;
+      return res;
+    }
+    // Pivot.
+    auto& prow = t[static_cast<std::size_t>(pivot_row)];
+    double pivot = prow[static_cast<std::size_t>(pivot_col)];
+    for (double& v : prow) v /= pivot;
+    for (int i = 0; i <= m; ++i) {
+      if (i == pivot_row) continue;
+      auto& row = t[static_cast<std::size_t>(i)];
+      double factor = row[static_cast<std::size_t>(pivot_col)];
+      if (factor == 0.0) continue;
+      for (int j = 0; j < cols; ++j) {
+        row[static_cast<std::size_t>(j)] -= factor * prow[static_cast<std::size_t>(j)];
+      }
+    }
+    basis[static_cast<std::size_t>(pivot_row)] = pivot_col;
+  }
+
+  res.x.assign(static_cast<std::size_t>(n), 0.0);
+  for (int i = 0; i < m; ++i) {
+    if (basis[static_cast<std::size_t>(i)] < n) {
+      res.x[static_cast<std::size_t>(basis[static_cast<std::size_t>(i)])] =
+          t[static_cast<std::size_t>(i)][static_cast<std::size_t>(cols - 1)];
+    }
+  }
+  res.objective = 0.0;
+  for (int j = 0; j < n; ++j) res.objective += c[static_cast<std::size_t>(j)] * res.x[static_cast<std::size_t>(j)];
+  return res;
+}
+
+}  // namespace teal::lp

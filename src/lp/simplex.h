@@ -1,0 +1,36 @@
+// simplex.h — dense tableau simplex for packing LPs.
+//
+//   maximize    cᵀx
+//   subject to  A x <= b,  x >= 0        (b >= 0)
+//
+// The TE path LP is exactly this form, so a phase-1 is never needed (x = 0 is
+// feasible). This solver is the repo's *exactness reference*: unit tests
+// solve small instances with it and assert that the scalable first-order
+// solver (pdhg.h) reaches the same optimum. It is O(rows * cols) memory and
+// deliberately sequential — simplex "takes one small step at a time along the
+// edges of the feasible region" (§2.1) — so it also stands in for Gurobi's
+// scaling behaviour on small/medium instances.
+#pragma once
+
+#include <vector>
+
+namespace teal::lp {
+
+struct SimplexResult {
+  bool optimal = false;        // false => iteration limit hit (or unbounded)
+  double objective = 0.0;
+  std::vector<double> x;
+  int iterations = 0;
+};
+
+struct SimplexOptions {
+  int max_iterations = 200000;
+  double tol = 1e-9;
+};
+
+// Dense A: row-major, rows x cols.
+SimplexResult simplex_max(const std::vector<std::vector<double>>& a,
+                          const std::vector<double>& b, const std::vector<double>& c,
+                          const SimplexOptions& opt = {});
+
+}  // namespace teal::lp

@@ -1,0 +1,93 @@
+#include "lp/sparse.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace teal::lp {
+
+SparseMatrix::SparseMatrix(int rows, int cols, const std::vector<Triplet>& triplets)
+    : rows_(rows), cols_(cols) {
+  if (rows < 0 || cols < 0) throw std::invalid_argument("SparseMatrix: negative dims");
+  std::vector<std::size_t> row_count(static_cast<std::size_t>(rows) + 1, 0);
+  std::vector<std::size_t> col_count(static_cast<std::size_t>(cols) + 1, 0);
+  for (const auto& t : triplets) {
+    if (t.row < 0 || t.row >= rows || t.col < 0 || t.col >= cols) {
+      throw std::out_of_range("SparseMatrix: triplet out of range");
+    }
+    ++row_count[static_cast<std::size_t>(t.row) + 1];
+    ++col_count[static_cast<std::size_t>(t.col) + 1];
+  }
+  row_ptr_ = std::move(row_count);
+  col_ptr_ = std::move(col_count);
+  for (std::size_t i = 1; i < row_ptr_.size(); ++i) row_ptr_[i] += row_ptr_[i - 1];
+  for (std::size_t i = 1; i < col_ptr_.size(); ++i) col_ptr_[i] += col_ptr_[i - 1];
+
+  row_col_.resize(triplets.size());
+  row_val_.resize(triplets.size());
+  col_row_.resize(triplets.size());
+  col_val_.resize(triplets.size());
+  std::vector<std::size_t> rpos(row_ptr_.begin(), row_ptr_.end() - 1);
+  std::vector<std::size_t> cpos(col_ptr_.begin(), col_ptr_.end() - 1);
+  for (const auto& t : triplets) {
+    auto& rp = rpos[static_cast<std::size_t>(t.row)];
+    row_col_[rp] = t.col;
+    row_val_[rp] = t.value;
+    ++rp;
+    auto& cp = cpos[static_cast<std::size_t>(t.col)];
+    col_row_[cp] = t.row;
+    col_val_[cp] = t.value;
+    ++cp;
+  }
+}
+
+void SparseMatrix::multiply(const std::vector<double>& x, std::vector<double>& y) const {
+  y.assign(static_cast<std::size_t>(rows_), 0.0);
+  for (int i = 0; i < rows_; ++i) {
+    double acc = 0.0;
+    for (std::size_t k = row_ptr_[static_cast<std::size_t>(i)];
+         k < row_ptr_[static_cast<std::size_t>(i) + 1]; ++k) {
+      acc += row_val_[k] * x[static_cast<std::size_t>(row_col_[k])];
+    }
+    y[static_cast<std::size_t>(i)] = acc;
+  }
+}
+
+void SparseMatrix::multiply_transpose(const std::vector<double>& y,
+                                      std::vector<double>& x) const {
+  x.assign(static_cast<std::size_t>(cols_), 0.0);
+  for (int j = 0; j < cols_; ++j) {
+    double acc = 0.0;
+    for (std::size_t k = col_ptr_[static_cast<std::size_t>(j)];
+         k < col_ptr_[static_cast<std::size_t>(j) + 1]; ++k) {
+      acc += col_val_[k] * y[static_cast<std::size_t>(col_row_[k])];
+    }
+    x[static_cast<std::size_t>(j)] = acc;
+  }
+}
+
+double SparseMatrix::row_abs_sum(int i) const {
+  double s = 0.0;
+  for (std::size_t k = row_ptr_[static_cast<std::size_t>(i)];
+       k < row_ptr_[static_cast<std::size_t>(i) + 1]; ++k) {
+    s += std::abs(row_val_[k]);
+  }
+  return s;
+}
+
+double SparseMatrix::col_abs_sum(int j) const {
+  double s = 0.0;
+  for (std::size_t k = col_ptr_[static_cast<std::size_t>(j)];
+       k < col_ptr_[static_cast<std::size_t>(j) + 1]; ++k) {
+    s += std::abs(col_val_[k]);
+  }
+  return s;
+}
+
+SparseMatrix::RowView SparseMatrix::row(int i) const {
+  std::size_t begin = row_ptr_[static_cast<std::size_t>(i)];
+  std::size_t end = row_ptr_[static_cast<std::size_t>(i) + 1];
+  return RowView{row_col_.data() + begin, row_val_.data() + begin, end - begin};
+}
+
+}  // namespace teal::lp

@@ -1,0 +1,58 @@
+// sparse.h — compressed sparse matrix with row and column access.
+//
+// The TE LPs are extremely sparse: a path variable appears in exactly one
+// demand row and in one capacity row per edge it traverses. The first-order
+// solver needs fast A·x (row-major) and Aᵀ·y (column-major), so we store both
+// layouts, built once from triplets.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace teal::lp {
+
+struct Triplet {
+  int row;
+  int col;
+  double value;
+};
+
+class SparseMatrix {
+ public:
+  SparseMatrix() = default;
+  SparseMatrix(int rows, int cols, const std::vector<Triplet>& triplets);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  std::size_t nnz() const { return row_val_.size(); }
+
+  // y = A x  (y sized rows()).
+  void multiply(const std::vector<double>& x, std::vector<double>& y) const;
+  // x = Aᵀ y  (x sized cols()).
+  void multiply_transpose(const std::vector<double>& y, std::vector<double>& x) const;
+
+  // L1 norm of row i / column j (used for diagonal preconditioning).
+  double row_abs_sum(int i) const;
+  double col_abs_sum(int j) const;
+
+  // Row access for the repair / evaluation passes.
+  struct RowView {
+    const int* cols;
+    const double* vals;
+    std::size_t size;
+  };
+  RowView row(int i) const;
+
+ private:
+  int rows_ = 0, cols_ = 0;
+  // CSR
+  std::vector<std::size_t> row_ptr_;
+  std::vector<int> row_col_;
+  std::vector<double> row_val_;
+  // CSC
+  std::vector<std::size_t> col_ptr_;
+  std::vector<int> col_row_;
+  std::vector<double> col_val_;
+};
+
+}  // namespace teal::lp

@@ -1,0 +1,133 @@
+#include "nn/mat.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/thread_pool.h"
+
+namespace teal::nn {
+
+namespace {
+// Rows below this threshold are processed inline; above it, through the pool.
+constexpr int kParallelRows = 512;
+
+template <typename F>
+void for_rows(int n, F&& body) {
+  if (n >= kParallelRows) {
+    util::ThreadPool::global().parallel_chunks(
+        static_cast<std::size_t>(n), [&](std::size_t b, std::size_t e) {
+          for (std::size_t r = b; r < e; ++r) body(static_cast<int>(r));
+        });
+  } else {
+    for (int r = 0; r < n; ++r) body(r);
+  }
+}
+}  // namespace
+
+void linear_forward(const Mat& x, const Mat& w, const std::vector<double>& b, Mat& y) {
+  const int n = x.rows(), in = x.cols(), out = w.rows();
+  if (w.cols() != in) throw std::invalid_argument("linear_forward: shape mismatch");
+  if (static_cast<int>(b.size()) != out) throw std::invalid_argument("linear_forward: bias");
+  y = Mat(n, out);
+  for_rows(n, [&](int r) {
+    const double* xr = x.row_ptr(r);
+    double* yr = y.row_ptr(r);
+    for (int o = 0; o < out; ++o) {
+      const double* wr = w.row_ptr(o);
+      double acc = b[static_cast<std::size_t>(o)];
+      for (int i = 0; i < in; ++i) acc += xr[i] * wr[i];
+      yr[o] = acc;
+    }
+  });
+}
+
+void linear_backward(const Mat& x, const Mat& w, const Mat& gy, Mat& gx, Mat& gw,
+                     std::vector<double>& gb) {
+  const int n = x.rows(), in = x.cols(), out = w.rows();
+  if (gy.rows() != n || gy.cols() != out) {
+    throw std::invalid_argument("linear_backward: gy shape");
+  }
+  gx = Mat(n, in);
+  for_rows(n, [&](int r) {
+    const double* gyr = gy.row_ptr(r);
+    double* gxr = gx.row_ptr(r);
+    for (int o = 0; o < out; ++o) {
+      const double* wr = w.row_ptr(o);
+      const double g = gyr[o];
+      if (g == 0.0) continue;
+      for (int i = 0; i < in; ++i) gxr[i] += g * wr[i];
+    }
+  });
+  // Parameter grads accumulate sequentially (they are small: out x in).
+  for (int r = 0; r < n; ++r) {
+    const double* xr = x.row_ptr(r);
+    const double* gyr = gy.row_ptr(r);
+    for (int o = 0; o < out; ++o) {
+      const double g = gyr[o];
+      if (g == 0.0) continue;
+      double* gwr = gw.row_ptr(o);
+      for (int i = 0; i < in; ++i) gwr[i] += g * xr[i];
+      gb[static_cast<std::size_t>(o)] += g;
+    }
+  }
+}
+
+void leaky_relu_forward(const Mat& x, Mat& y, double alpha) {
+  y = Mat(x.rows(), x.cols());
+  const auto& xs = x.data();
+  auto& ys = y.data();
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    ys[i] = xs[i] >= 0.0 ? xs[i] : alpha * xs[i];
+  }
+}
+
+void leaky_relu_backward(const Mat& x_pre, const Mat& gy, Mat& gx, double alpha) {
+  gx = Mat(x_pre.rows(), x_pre.cols());
+  const auto& xs = x_pre.data();
+  const auto& gs = gy.data();
+  auto& os = gx.data();
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    os[i] = xs[i] >= 0.0 ? gs[i] : alpha * gs[i];
+  }
+}
+
+void softmax_rows(const Mat& logits, const Mat& mask, Mat& probs) {
+  const int n = logits.rows(), k = logits.cols();
+  const bool has_mask = !mask.empty();
+  probs = Mat(n, k);
+  for_rows(n, [&](int r) {
+    const double* lr = logits.row_ptr(r);
+    double* pr = probs.row_ptr(r);
+    double mx = -1e300;
+    for (int c = 0; c < k; ++c) {
+      if (!has_mask || mask.at(r, c) != 0.0) mx = std::max(mx, lr[c]);
+    }
+    double denom = 0.0;
+    for (int c = 0; c < k; ++c) {
+      if (!has_mask || mask.at(r, c) != 0.0) {
+        pr[c] = std::exp(lr[c] - mx);
+        denom += pr[c];
+      } else {
+        pr[c] = 0.0;
+      }
+    }
+    if (denom > 0.0) {
+      for (int c = 0; c < k; ++c) pr[c] /= denom;
+    }
+  });
+}
+
+void softmax_rows_backward(const Mat& probs, const Mat& gy, Mat& gx) {
+  const int n = probs.rows(), k = probs.cols();
+  gx = Mat(n, k);
+  for_rows(n, [&](int r) {
+    const double* pr = probs.row_ptr(r);
+    const double* gr = gy.row_ptr(r);
+    double* xr = gx.row_ptr(r);
+    double dotpg = 0.0;
+    for (int c = 0; c < k; ++c) dotpg += pr[c] * gr[c];
+    for (int c = 0; c < k; ++c) xr[c] = pr[c] * (gr[c] - dotpg);
+  });
+}
+
+}  // namespace teal::nn

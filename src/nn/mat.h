@@ -1,0 +1,77 @@
+// mat.h — dense row-major matrix, the tensor type of the NN substrate.
+//
+// The paper implements Teal in PyTorch on a GPU. The models involved are
+// tiny (FlowGNN embeddings of <= 6 elements, a 24-neuron policy hidden
+// layer); what the GPU buys is *batch* parallelism across tens of thousands
+// of paths/demands. We reproduce that with plain double matrices whose
+// batched products are parallelized over rows via the global thread pool.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace teal::nn {
+
+class Mat {
+ public:
+  Mat() = default;
+  Mat(int rows, int cols, double fill = 0.0)
+      : rows_(rows), cols_(cols),
+        v_(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols), fill) {
+    if (rows < 0 || cols < 0) throw std::invalid_argument("Mat: negative shape");
+  }
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  std::size_t size() const { return v_.size(); }
+  bool empty() const { return v_.empty(); }
+
+  double& at(int r, int c) {
+    return v_[static_cast<std::size_t>(r) * static_cast<std::size_t>(cols_) +
+              static_cast<std::size_t>(c)];
+  }
+  double at(int r, int c) const {
+    return v_[static_cast<std::size_t>(r) * static_cast<std::size_t>(cols_) +
+              static_cast<std::size_t>(c)];
+  }
+  double* row_ptr(int r) {
+    return v_.data() + static_cast<std::size_t>(r) * static_cast<std::size_t>(cols_);
+  }
+  const double* row_ptr(int r) const {
+    return v_.data() + static_cast<std::size_t>(r) * static_cast<std::size_t>(cols_);
+  }
+
+  std::vector<double>& data() { return v_; }
+  const std::vector<double>& data() const { return v_; }
+
+  void zero() { std::fill(v_.begin(), v_.end(), 0.0); }
+
+  bool same_shape(const Mat& o) const { return rows_ == o.rows_ && cols_ == o.cols_; }
+
+ private:
+  int rows_ = 0, cols_ = 0;
+  std::vector<double> v_;
+};
+
+// y = x * wT + b_broadcast : x is (n, in), w is (out, in), b is (out), y is (n, out).
+// Parallelized over rows of x when n is large.
+void linear_forward(const Mat& x, const Mat& w, const std::vector<double>& b, Mat& y);
+
+// Backward of the same: gx = gy * w ; gw += gyᵀ x ; gb += column sums of gy.
+void linear_backward(const Mat& x, const Mat& w, const Mat& gy, Mat& gx, Mat& gw,
+                     std::vector<double>& gb);
+
+// LeakyReLU with slope alpha on negatives, elementwise; backward uses the
+// *pre-activation* values.
+void leaky_relu_forward(const Mat& x, Mat& y, double alpha = 0.01);
+void leaky_relu_backward(const Mat& x_pre, const Mat& gy, Mat& gx, double alpha = 0.01);
+
+// Row-wise masked softmax: columns where mask(r, c) == 0 get probability 0.
+// mask may be empty (= all valid).
+void softmax_rows(const Mat& logits, const Mat& mask, Mat& probs);
+
+// Backward of row-wise softmax: gx(r,.) = (diag(p) - p pᵀ) gy(r,.).
+void softmax_rows_backward(const Mat& probs, const Mat& gy, Mat& gx);
+
+}  // namespace teal::nn

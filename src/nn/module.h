@@ -1,0 +1,74 @@
+// module.h — trainable parameters, Linear layer, Adam, serialization.
+//
+// A deliberately small substrate: parameters register themselves with their
+// owning module, the Adam optimizer (the paper trains Teal with Adam at
+// lr 1e-4, §4) walks the registry, and save/load streams raw doubles with a
+// shape header so trained Teal models can be cached between bench runs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/mat.h"
+#include "util/rng.h"
+
+namespace teal::nn {
+
+struct Param {
+  Mat w;  // value
+  Mat g;  // gradient accumulator, same shape
+
+  explicit Param(int rows = 0, int cols = 0) : w(rows, cols), g(rows, cols) {}
+  void zero_grad() { g.zero(); }
+};
+
+// Xavier-uniform init, the default for the small dense layers here.
+void xavier_init(Mat& w, util::Rng& rng);
+
+class Linear {
+ public:
+  Linear() = default;
+  Linear(int in, int out, util::Rng& rng);
+
+  // y = x Wᵀ + b; caches nothing (callers keep x for backward).
+  void forward(const Mat& x, Mat& y) const;
+  // Accumulates parameter grads and writes input grad.
+  void backward(const Mat& x, const Mat& gy, Mat& gx);
+
+  int in_features() const { return weight_.w.cols(); }
+  int out_features() const { return weight_.w.rows(); }
+
+  std::vector<Param*> params() { return {&weight_, &bias_}; }
+
+ private:
+  Param weight_;  // (out, in)
+  Param bias_;    // (1, out)
+};
+
+// Adam over an explicit parameter list (decoupled from module structure).
+class Adam {
+ public:
+  explicit Adam(std::vector<Param*> params, double lr = 1e-4, double beta1 = 0.9,
+                double beta2 = 0.999, double eps = 1e-8);
+
+  void zero_grad();
+  // One descent step using the accumulated gradients (minimization).
+  void step();
+  // Clips the global gradient L2 norm to `max_norm` (0 disables).
+  void clip_grad_norm(double max_norm);
+
+  double lr = 1e-4;
+
+ private:
+  std::vector<Param*> params_;
+  std::vector<Mat> m_, v_;
+  double beta1_, beta2_, eps_;
+  std::int64_t t_ = 0;
+};
+
+// Binary serialization of a parameter list (shape-checked on load).
+void save_params(const std::string& path, const std::vector<Param*>& params);
+bool load_params(const std::string& path, const std::vector<Param*>& params);
+
+}  // namespace teal::nn

@@ -1,0 +1,83 @@
+// online.h — the online TE control loop (§5.1 "satisfied demand", Figure 18).
+//
+// The paper's key evaluation metric accounts for TE control delay: while a
+// scheme is still computing, the previous allocation stays deployed, so slow
+// schemes serve traffic with stale routes. We simulate the loop on a
+// timeline: at the start of each 5-minute interval the scheme — if idle —
+// begins solving the newest traffic matrix; the result activates when the
+// (measured) solve time elapses. An interval's satisfied demand is the
+// time-weighted average over the allocations active within it. Figure 18's
+// "NCFlow and POP can only compute a new allocation for every other or every
+// third traffic matrix" falls out of this model naturally.
+//
+// Because this repo's problems are scaled down (DESIGN.md substitution #5),
+// measured solve times are smaller than the paper's testbed times for *all*
+// schemes. `time_scale` multiplies measured times before they meet the
+// interval budget so benches can place the LP baselines in the same
+// time-budget regime as the paper (both raw and scaled runs are reported in
+// EXPERIMENTS.md).
+#pragma once
+
+#include <vector>
+
+#include "te/scheme.h"
+#include "traffic/traffic.h"
+
+namespace teal::sim {
+
+struct OnlineConfig {
+  double interval_seconds = 300.0;
+  double time_scale = 1.0;
+  te::Objective objective = te::Objective::kTotalFlow;
+};
+
+struct IntervalResult {
+  bool started_solve = false;
+  double solve_seconds = 0.0;     // raw measured seconds of the solve started here
+  double satisfied_pct = 0.0;     // time-weighted over the interval
+};
+
+struct OnlineResult {
+  std::vector<IntervalResult> intervals;
+  std::vector<double> solve_times;  // raw seconds per completed solve
+  double mean_satisfied_pct = 0.0;
+};
+
+// Runs the control loop over `trace`. The pre-existing routes before the
+// first solve completes are shortest-path routes.
+OnlineResult run_online(te::Scheme& scheme, const te::Problem& pb,
+                        const traffic::Trace& trace, const OnlineConfig& cfg = {});
+
+// Same control-loop accounting, but replays precomputed per-matrix
+// allocations and solve times instead of invoking the scheme again. Lets the
+// bench harness derive both offline and online metrics from a single solve
+// pass. `allocs[t]`/`solve_seconds[t]` correspond to trace matrix t; the
+// simulator decides which solves actually start given the budget.
+OnlineResult replay_online(const te::Problem& pb, const traffic::Trace& trace,
+                           const std::vector<te::Allocation>& allocs,
+                           const std::vector<double>& solve_seconds,
+                           const OnlineConfig& cfg = {});
+
+// §5.3 failure reaction: solve on the healthy topology, fail `failed_edges`
+// (capacity 0), let the scheme recompute, and report the satisfied demand of
+// the post-failure interval as the time-weighted mix of stale routes (with
+// traffic on failed links dropped) and the recomputed routes. The problem's
+// graph is restored before returning.
+struct FailureResult {
+  double satisfied_pct = 0.0;       // time-weighted post-failure interval
+  double stale_pct = 0.0;           // old routes on failed topology
+  double recomputed_pct = 0.0;      // new routes on failed topology
+  double resolve_seconds = 0.0;     // raw recompute time
+};
+
+FailureResult eval_failure_reaction(te::Scheme& scheme, te::Problem& pb,
+                                    const te::TrafficMatrix& tm,
+                                    const std::vector<topo::EdgeId>& failed_edges,
+                                    const OnlineConfig& cfg = {});
+
+// Samples `n_failures` distinct edges to fail; both directions of a physical
+// link fail together (a fiber cut takes out the pair).
+std::vector<topo::EdgeId> sample_link_failures(const topo::Graph& g, int n_failures,
+                                               std::uint64_t seed);
+
+}  // namespace teal::sim

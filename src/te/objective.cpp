@@ -1,0 +1,168 @@
+#include "te/objective.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace teal::te {
+
+std::string to_string(Objective obj) {
+  switch (obj) {
+    case Objective::kTotalFlow: return "total_flow";
+    case Objective::kMinMaxLinkUtil: return "min_max_link_util";
+    case Objective::kLatencyPenalizedFlow: return "latency_penalized_flow";
+  }
+  return "unknown";
+}
+
+std::vector<double> edge_loads(const Problem& pb, const TrafficMatrix& tm,
+                               const Allocation& a) {
+  std::vector<double> load(static_cast<std::size_t>(pb.graph().num_edges()), 0.0);
+  for (int p = 0; p < pb.total_paths(); ++p) {
+    double f = a.split[static_cast<std::size_t>(p)] *
+               tm.volume[static_cast<std::size_t>(pb.demand_of_path(p))];
+    if (f <= 0.0) continue;
+    for (topo::EdgeId e : pb.path_edges(p)) load[static_cast<std::size_t>(e)] += f;
+  }
+  return load;
+}
+
+std::vector<double> delivered_per_path(const Problem& pb, const TrafficMatrix& tm,
+                                       const Allocation& a,
+                                       const std::vector<double>* capacities) {
+  std::vector<double> caps = capacities ? *capacities : pb.capacities();
+  std::vector<double> load = edge_loads(pb, tm, a);
+  // Per-edge survival factor min(1, c/load); 0 for failed (capacity 0) links.
+  std::vector<double> factor(load.size(), 1.0);
+  for (std::size_t e = 0; e < load.size(); ++e) {
+    if (load[e] > caps[e]) {
+      factor[e] = load[e] > 0.0 ? caps[e] / load[e] : 1.0;
+    }
+  }
+  std::vector<double> delivered(static_cast<std::size_t>(pb.total_paths()), 0.0);
+  for (int p = 0; p < pb.total_paths(); ++p) {
+    double f = a.split[static_cast<std::size_t>(p)] *
+               tm.volume[static_cast<std::size_t>(pb.demand_of_path(p))];
+    if (f <= 0.0) continue;
+    double surv = 1.0;
+    for (topo::EdgeId e : pb.path_edges(p)) {
+      surv = std::min(surv, factor[static_cast<std::size_t>(e)]);
+    }
+    delivered[static_cast<std::size_t>(p)] = f * surv;
+  }
+  return delivered;
+}
+
+double total_feasible_flow(const Problem& pb, const TrafficMatrix& tm, const Allocation& a,
+                           const std::vector<double>* capacities) {
+  auto del = delivered_per_path(pb, tm, a, capacities);
+  double total = 0.0;
+  for (double v : del) total += v;
+  return total;
+}
+
+double satisfied_demand_pct(const Problem& pb, const TrafficMatrix& tm, const Allocation& a,
+                            const std::vector<double>* capacities) {
+  double td = tm.total();
+  if (td <= 0.0) return 100.0;
+  return 100.0 * total_feasible_flow(pb, tm, a, capacities) / td;
+}
+
+double max_link_utilization(const Problem& pb, const TrafficMatrix& tm, const Allocation& a,
+                            const std::vector<double>* capacities) {
+  std::vector<double> caps = capacities ? *capacities : pb.capacities();
+  auto load = edge_loads(pb, tm, a);
+  double mlu = 0.0;
+  for (std::size_t e = 0; e < load.size(); ++e) {
+    if (caps[e] > 0.0) {
+      mlu = std::max(mlu, load[e] / caps[e]);
+    } else if (load[e] > 0.0) {
+      mlu = std::max(mlu, 1e9);  // traffic on a failed link
+    }
+  }
+  return mlu;
+}
+
+double latency_penalized_flow(const Problem& pb, const TrafficMatrix& tm, const Allocation& a,
+                              double penalty, const std::vector<double>* capacities) {
+  double max_lat = 1e-12;
+  for (int p = 0; p < pb.total_paths(); ++p) max_lat = std::max(max_lat, pb.path_latency(p));
+  auto del = delivered_per_path(pb, tm, a, capacities);
+  double total = 0.0;
+  for (int p = 0; p < pb.total_paths(); ++p) {
+    double w = std::max(0.0, 1.0 - penalty * pb.path_latency(p) / max_lat);
+    total += del[static_cast<std::size_t>(p)] * w;
+  }
+  return total;
+}
+
+double surrogate_loss_value(const Problem& pb, const TrafficMatrix& tm, const Allocation& a,
+                            const std::vector<double>* capacities) {
+  std::vector<double> caps = capacities ? *capacities : pb.capacities();
+  double intended = 0.0;
+  for (int p = 0; p < pb.total_paths(); ++p) {
+    intended += a.split[static_cast<std::size_t>(p)] *
+                tm.volume[static_cast<std::size_t>(pb.demand_of_path(p))];
+  }
+  auto load = edge_loads(pb, tm, a);
+  double overuse = 0.0;
+  for (std::size_t e = 0; e < load.size(); ++e) {
+    overuse += std::max(0.0, load[e] - caps[e]);
+  }
+  return intended - overuse;
+}
+
+double objective_score(const Problem& pb, const TrafficMatrix& tm, const Allocation& a,
+                       Objective obj, const std::vector<double>* capacities) {
+  switch (obj) {
+    case Objective::kTotalFlow:
+      return total_feasible_flow(pb, tm, a, capacities);
+    case Objective::kMinMaxLinkUtil:
+      return -max_link_utilization(pb, tm, a, capacities);
+    case Objective::kLatencyPenalizedFlow:
+      return latency_penalized_flow(pb, tm, a, 0.5, capacities);
+  }
+  throw std::invalid_argument("objective_score: unknown objective");
+}
+
+Allocation repair_to_feasible(const Problem& pb, const TrafficMatrix& tm, Allocation a,
+                              const std::vector<double>* capacities, int max_rounds) {
+  std::vector<double> caps = capacities ? *capacities : pb.capacities();
+  for (double& s : a.split) s = std::max(0.0, s);
+  // Clamp per-demand split sums to 1.
+  for (int d = 0; d < pb.num_demands(); ++d) {
+    double sum = 0.0;
+    for (int p = pb.path_begin(d); p < pb.path_end(d); ++p) {
+      sum += a.split[static_cast<std::size_t>(p)];
+    }
+    if (sum > 1.0) {
+      for (int p = pb.path_begin(d); p < pb.path_end(d); ++p) {
+        a.split[static_cast<std::size_t>(p)] /= sum;
+      }
+    }
+  }
+  // Iteratively scale down every path crossing an overloaded edge. Each round
+  // strictly reduces violation; a final exact pass guarantees feasibility.
+  for (int round = 0; round < max_rounds; ++round) {
+    auto load = edge_loads(pb, tm, a);
+    bool violated = false;
+    std::vector<double> factor(load.size(), 1.0);
+    for (std::size_t e = 0; e < load.size(); ++e) {
+      if (load[e] > caps[e] * (1.0 + 1e-12)) {
+        violated = true;
+        factor[e] = load[e] > 0.0 ? caps[e] / load[e] : 1.0;
+      }
+    }
+    if (!violated) break;
+    for (int p = 0; p < pb.total_paths(); ++p) {
+      double f = 1.0;
+      for (topo::EdgeId e : pb.path_edges(p)) {
+        f = std::min(f, factor[static_cast<std::size_t>(e)]);
+      }
+      a.split[static_cast<std::size_t>(p)] *= f;
+    }
+  }
+  return a;
+}
+
+}  // namespace teal::te

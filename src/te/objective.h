@@ -1,0 +1,81 @@
+// objective.h — TE objectives and allocation evaluation (§5.1, §5.5).
+//
+// Three operator objectives from the paper:
+//   * TotalFlow            — maximize total feasible flow (default, §5.2);
+//   * MinMaxLinkUtil       — minimize the max link utilization (§5.5);
+//   * LatencyPenalizedFlow — maximize total flow with delay penalties (§5.5).
+//
+// Evaluation mirrors the paper's semantics: an allocation may *intend* to put
+// more traffic on a link than its capacity (neural networks cannot enforce
+// constraints, §3.4); the network then drops the excess proportionally from
+// every flow crossing the overloaded link. `total_feasible_flow` implements
+// that reconciliation and is deliberately non-differentiable — it is the RL
+// reward. The `surrogate_loss` below is the differentiable approximation used
+// by the direct-loss ablation (Appendix A).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "te/problem.h"
+
+namespace teal::te {
+
+enum class Objective {
+  kTotalFlow,
+  kMinMaxLinkUtil,
+  kLatencyPenalizedFlow,
+};
+
+std::string to_string(Objective obj);
+
+// Intended load per edge: sum over paths through the edge of split * volume.
+std::vector<double> edge_loads(const Problem& pb, const TrafficMatrix& tm,
+                               const Allocation& a);
+
+// Per-path delivered volume after proportional dropping: each path delivers
+// split * volume * min over its edges of min(1, capacity/load). `capacities`
+// defaults to the problem graph's (pass a modified copy for failures; failed
+// links have capacity 0 and deliver nothing).
+std::vector<double> delivered_per_path(const Problem& pb, const TrafficMatrix& tm,
+                                       const Allocation& a,
+                                       const std::vector<double>* capacities = nullptr);
+
+// Total feasible flow (the default TE objective and the RL reward).
+double total_feasible_flow(const Problem& pb, const TrafficMatrix& tm, const Allocation& a,
+                           const std::vector<double>* capacities = nullptr);
+
+// Satisfied demand in percent: 100 * total feasible flow / total demand.
+double satisfied_demand_pct(const Problem& pb, const TrafficMatrix& tm, const Allocation& a,
+                            const std::vector<double>* capacities = nullptr);
+
+// Max link utilization of the *intended* loads (the min-MLU objective routes
+// all traffic; utilization may exceed 1 for a bad allocation).
+double max_link_utilization(const Problem& pb, const TrafficMatrix& tm, const Allocation& a,
+                            const std::vector<double>* capacities = nullptr);
+
+// Latency-penalized total flow: each path's delivered volume is weighted by
+// (1 - penalty * path_latency / max_path_latency), clamped at >= 0. Linear in
+// the allocation for LP solvers when evaluated on intended flow.
+double latency_penalized_flow(const Problem& pb, const TrafficMatrix& tm, const Allocation& a,
+                              double penalty = 0.5,
+                              const std::vector<double>* capacities = nullptr);
+
+// The differentiable surrogate for total feasible flow (Appendix A):
+// total intended flow minus total link overutilization.
+double surrogate_loss_value(const Problem& pb, const TrafficMatrix& tm, const Allocation& a,
+                            const std::vector<double>* capacities = nullptr);
+
+// Scores an allocation under `obj` with "higher is better" semantics (MLU is
+// negated), so schemes and tests can compare uniformly.
+double objective_score(const Problem& pb, const TrafficMatrix& tm, const Allocation& a,
+                       Objective obj, const std::vector<double>* capacities = nullptr);
+
+// Scales splits down per-demand so that no link's intended load exceeds its
+// capacity (a conservative feasibility repair; used by tests and by schemes
+// that must output strictly feasible allocations).
+Allocation repair_to_feasible(const Problem& pb, const TrafficMatrix& tm, Allocation a,
+                              const std::vector<double>* capacities = nullptr,
+                              int max_rounds = 8);
+
+}  // namespace teal::te

@@ -1,0 +1,92 @@
+#include "te/problem.h"
+
+#include <mutex>
+#include <numeric>
+#include <stdexcept>
+
+#include "util/thread_pool.h"
+
+namespace teal::te {
+
+double TrafficMatrix::total() const {
+  return std::accumulate(volume.begin(), volume.end(), 0.0);
+}
+
+Problem::Problem(topo::Graph g, std::vector<Demand> demands, int k_paths)
+    : graph_(std::move(g)), k_paths_(k_paths) {
+  if (k_paths <= 0) throw std::invalid_argument("Problem: k_paths must be positive");
+
+  // Yen's algorithm per demand, parallelized (path precomputation is a
+  // one-time cost excluded from the computation-time metric, §5.1).
+  std::vector<std::vector<topo::Path>> per_demand(demands.size());
+  util::ThreadPool::global().parallel_for(demands.size(), [&](std::size_t i) {
+    per_demand[i] = topo::yen_ksp(graph_, demands[i].src, demands[i].dst, k_paths);
+  });
+
+  path_offset_.push_back(0);
+  for (std::size_t i = 0; i < demands.size(); ++i) {
+    if (per_demand[i].empty()) continue;  // unreachable pair: drop
+    demands_.push_back(demands[i]);
+    for (auto& p : per_demand[i]) {
+      path_demand_.push_back(static_cast<int>(demands_.size()) - 1);
+      path_latency_.push_back(topo::path_latency(graph_, p));
+      path_edges_.push_back(std::move(p));
+    }
+    path_offset_.push_back(static_cast<int>(path_edges_.size()));
+  }
+
+  edge_paths_.assign(static_cast<std::size_t>(graph_.num_edges()), {});
+  for (std::size_t p = 0; p < path_edges_.size(); ++p) {
+    for (topo::EdgeId e : path_edges_[p]) {
+      edge_paths_[static_cast<std::size_t>(e)].push_back(static_cast<int>(p));
+    }
+  }
+}
+
+Allocation Problem::shortest_path_allocation() const {
+  Allocation a = empty_allocation();
+  for (int d = 0; d < num_demands(); ++d) {
+    a.split[static_cast<std::size_t>(path_begin(d))] = 1.0;  // Yen returns shortest first
+  }
+  return a;
+}
+
+void Problem::validate_allocation(const Allocation& a, double tol) const {
+  if (static_cast<int>(a.split.size()) != total_paths()) {
+    throw std::invalid_argument("validate_allocation: size mismatch");
+  }
+  for (double s : a.split) {
+    if (s < -tol) throw std::invalid_argument("validate_allocation: negative split");
+  }
+  for (int d = 0; d < num_demands(); ++d) {
+    double sum = 0.0;
+    for (int p = path_begin(d); p < path_end(d); ++p) {
+      sum += a.split[static_cast<std::size_t>(p)];
+    }
+    if (sum > 1.0 + tol) {
+      throw std::invalid_argument("validate_allocation: demand oversubscribed");
+    }
+  }
+}
+
+std::vector<double> Problem::capacities() const {
+  std::vector<double> c(static_cast<std::size_t>(graph_.num_edges()));
+  for (topo::EdgeId e = 0; e < graph_.num_edges(); ++e) {
+    c[static_cast<std::size_t>(e)] = graph_.edge(e).capacity;
+  }
+  return c;
+}
+
+std::vector<Demand> all_pairs_demands(const topo::Graph& g) {
+  std::vector<Demand> ds;
+  ds.reserve(static_cast<std::size_t>(g.num_nodes()) *
+             static_cast<std::size_t>(g.num_nodes() - 1));
+  for (topo::NodeId s = 0; s < g.num_nodes(); ++s) {
+    for (topo::NodeId t = 0; t < g.num_nodes(); ++t) {
+      if (s != t) ds.push_back(Demand{s, t});
+    }
+  }
+  return ds;
+}
+
+}  // namespace teal::te

@@ -1,0 +1,40 @@
+// scheme.h — the interface every TE scheme implements.
+//
+// The benchmark harness, the online simulator and the figures are all
+// scheme-agnostic: a Scheme maps a (Problem, TrafficMatrix) to an Allocation
+// and reports how long the solve took (the paper's computation-time metric,
+// Table 2). Schemes may carry per-topology state (trained models, partition
+// structures, solver workspaces); constructing that state is a one-time cost
+// excluded from the timing, matching §5.1.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "te/objective.h"
+#include "te/problem.h"
+
+namespace teal::te {
+
+class Scheme {
+ public:
+  virtual ~Scheme() = default;
+
+  virtual std::string name() const = 0;
+
+  // Computes an allocation for the given traffic matrix. Implementations must
+  // time their own solve path and report it via last_solve_seconds().
+  virtual Allocation solve(const Problem& pb, const TrafficMatrix& tm) = 0;
+
+  // Wall-clock duration of the most recent solve() call, per Table 2's
+  // breakdown (e.g. LP-top includes its model rebuilding time).
+  virtual double last_solve_seconds() const = 0;
+
+  // Called when link capacities change (failures §5.3). Default: nothing —
+  // most schemes read capacities from the Problem on each solve.
+  virtual void on_topology_change(const Problem& /*pb*/) {}
+};
+
+using SchemePtr = std::unique_ptr<Scheme>;
+
+}  // namespace teal::te

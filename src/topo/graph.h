@@ -1,0 +1,85 @@
+// graph.h — directed WAN topology graph (Appendix A: G = (V, E, c)).
+//
+// Nodes are network sites (datacenters / aggregated routers); directed edges
+// are long-haul links with a capacity c(e) and a propagation latency used
+// both as the shortest-path weight and by the latency-penalized TE objective
+// (§5.5). Table 1 of the paper counts directed edges, and so do we.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace teal::topo {
+
+using NodeId = std::int32_t;
+using EdgeId = std::int32_t;
+
+inline constexpr EdgeId kInvalidEdge = -1;
+
+struct Edge {
+  NodeId src = 0;
+  NodeId dst = 0;
+  double capacity = 0.0;  // in traffic units per interval (e.g. Gbps)
+  double latency = 1.0;   // shortest-path weight; >= 0
+};
+
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(std::string name) : name_(std::move(name)) {}
+
+  NodeId add_node();
+  void add_nodes(NodeId count);
+
+  // Adds a single directed edge and returns its id.
+  EdgeId add_edge(NodeId src, NodeId dst, double capacity, double latency = 1.0);
+
+  // Adds both directions with identical capacity/latency; returns the id of
+  // the forward edge (the reverse edge is the next id).
+  EdgeId add_link(NodeId a, NodeId b, double capacity, double latency = 1.0);
+
+  NodeId num_nodes() const { return n_; }
+  EdgeId num_edges() const { return static_cast<EdgeId>(edges_.size()); }
+
+  const Edge& edge(EdgeId e) const { return edges_.at(static_cast<std::size_t>(e)); }
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  // Outgoing/incoming edge ids of a node.
+  const std::vector<EdgeId>& out_edges(NodeId v) const {
+    return out_.at(static_cast<std::size_t>(v));
+  }
+  const std::vector<EdgeId>& in_edges(NodeId v) const {
+    return in_.at(static_cast<std::size_t>(v));
+  }
+
+  // Returns the edge id from src to dst, or kInvalidEdge if absent.
+  EdgeId find_edge(NodeId src, NodeId dst) const;
+
+  void set_capacity(EdgeId e, double capacity);
+  double capacity(EdgeId e) const { return edge(e).capacity; }
+
+  // Scales every edge capacity by `factor` (used by POP's 1/k replicas and by
+  // capacity calibration).
+  void scale_capacities(double factor);
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  // True if every node can reach every other node (strong connectivity).
+  bool is_strongly_connected() const;
+
+ private:
+  void check_node(NodeId v) const {
+    if (v < 0 || v >= n_) throw std::out_of_range("Graph: bad node id");
+  }
+
+  std::string name_;
+  NodeId n_ = 0;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<EdgeId>> out_;
+  std::vector<std::vector<EdgeId>> in_;
+};
+
+}  // namespace teal::topo

@@ -1,0 +1,74 @@
+#include "topo/topo_io.h"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace teal::topo {
+
+void save_topology(const Graph& g, std::ostream& out) {
+  out << "# topology " << g.name() << "\n";
+  out << "nodes " << g.num_nodes() << "\n";
+  out << std::setprecision(17);
+  for (const Edge& e : g.edges()) {
+    out << "edge " << e.src << " " << e.dst << " " << e.capacity << " " << e.latency
+        << "\n";
+  }
+}
+
+void save_topology_file(const Graph& g, const std::string& path) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("save_topology_file: cannot open " + path);
+  save_topology(g, f);
+}
+
+Graph load_topology(std::istream& in, const std::string& name) {
+  Graph g(name);
+  std::string line;
+  int line_no = 0;
+  bool have_nodes = false;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ss(line);
+    std::string kind;
+    ss >> kind;
+    if (kind == "nodes") {
+      int n = -1;
+      ss >> n;
+      if (!ss || n < 0) {
+        throw std::runtime_error("load_topology: bad node count at line " +
+                                 std::to_string(line_no));
+      }
+      g.add_nodes(n);
+      have_nodes = true;
+    } else if (kind == "edge") {
+      if (!have_nodes) {
+        throw std::runtime_error("load_topology: 'edge' before 'nodes' at line " +
+                                 std::to_string(line_no));
+      }
+      NodeId src = -1, dst = -1;
+      double cap = -1, lat = -1;
+      ss >> src >> dst >> cap >> lat;
+      if (!ss) {
+        throw std::runtime_error("load_topology: malformed edge at line " +
+                                 std::to_string(line_no));
+      }
+      g.add_edge(src, dst, cap, lat);
+    } else {
+      throw std::runtime_error("load_topology: unknown directive '" + kind +
+                               "' at line " + std::to_string(line_no));
+    }
+  }
+  return g;
+}
+
+Graph load_topology_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("load_topology_file: cannot open " + path);
+  auto slash = path.find_last_of('/');
+  return load_topology(f, slash == std::string::npos ? path : path.substr(slash + 1));
+}
+
+}  // namespace teal::topo

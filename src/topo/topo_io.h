@@ -1,0 +1,29 @@
+// topo_io.h — plain-text topology serialization.
+//
+// The paper's UsCarrier/Kdl come from the Internet Topology Zoo and ASN from
+// CAIDA; those datasets are not vendored here (DESIGN.md substitution #4),
+// but users who have them can convert to this edge-list format and run every
+// scheme on the real graphs. The format is line-oriented:
+//
+//   # comment
+//   nodes <N>
+//   edge <src> <dst> <capacity> <latency>
+//
+// Edges are directed; use two lines for a bidirectional link. save/load round
+// trips exactly (modulo float formatting at 17 significant digits).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "topo/graph.h"
+
+namespace teal::topo {
+
+void save_topology(const Graph& g, std::ostream& out);
+void save_topology_file(const Graph& g, const std::string& path);
+
+Graph load_topology(std::istream& in, const std::string& name = "loaded");
+Graph load_topology_file(const std::string& path);
+
+}  // namespace teal::topo

@@ -1,0 +1,66 @@
+#include "topo/topo_stats.h"
+
+#include <atomic>
+#include <cstdint>
+
+#include "util/thread_pool.h"
+
+namespace teal::topo {
+
+TopoStats compute_stats(const Graph& g) {
+  TopoStats s;
+  s.n_nodes = g.num_nodes();
+  s.n_edges = g.num_edges();
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  if (n == 0) return s;
+
+  std::atomic<std::int64_t> total_hops{0};
+  std::atomic<std::int64_t> total_pairs{0};
+  std::atomic<int> diameter{0};
+  util::ThreadPool::global().parallel_for(n, [&](std::size_t src) {
+    auto hops = bfs_hops(g, static_cast<NodeId>(src));
+    std::int64_t local_hops = 0, local_pairs = 0;
+    int local_diam = 0;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (v == src || hops[v] < 0) continue;
+      local_hops += hops[v];
+      ++local_pairs;
+      local_diam = std::max(local_diam, hops[v]);
+    }
+    total_hops += local_hops;
+    total_pairs += local_pairs;
+    int cur = diameter.load();
+    while (local_diam > cur && !diameter.compare_exchange_weak(cur, local_diam)) {
+    }
+  });
+  s.avg_shortest_path =
+      total_pairs > 0 ? static_cast<double>(total_hops) / static_cast<double>(total_pairs) : 0.0;
+  s.diameter = diameter.load();
+  return s;
+}
+
+std::vector<double> routable_demand_share(const Graph& g,
+                                          const std::vector<std::vector<Path>>& paths) {
+  std::vector<std::int64_t> count(static_cast<std::size_t>(g.num_edges()), 0);
+  for (const auto& pset : paths) {
+    // An edge counts once per demand even if several of the demand's paths
+    // traverse it.
+    std::vector<char> seen(static_cast<std::size_t>(g.num_edges()), 0);
+    for (const auto& p : pset) {
+      for (EdgeId e : p) {
+        if (!seen[static_cast<std::size_t>(e)]) {
+          seen[static_cast<std::size_t>(e)] = 1;
+          ++count[static_cast<std::size_t>(e)];
+        }
+      }
+    }
+  }
+  std::vector<double> share(count.size(), 0.0);
+  const double denom = paths.empty() ? 1.0 : static_cast<double>(paths.size());
+  for (std::size_t e = 0; e < count.size(); ++e) {
+    share[e] = 100.0 * static_cast<double>(count[e]) / denom;
+  }
+  return share;
+}
+
+}  // namespace teal::topo

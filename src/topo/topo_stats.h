@@ -1,0 +1,28 @@
+// topo_stats.h — topology statistics for Table 1, Table 3 and Figure 17.
+#pragma once
+
+#include <vector>
+
+#include "topo/graph.h"
+#include "topo/shortest_path.h"
+
+namespace teal::topo {
+
+struct TopoStats {
+  int n_nodes = 0;
+  int n_edges = 0;             // directed edges, as in Table 1
+  double avg_shortest_path = 0;  // hop-based, over connected ordered pairs
+  int diameter = 0;              // hop-based
+};
+
+// Computes hop-based average shortest-path length and diameter (Table 3).
+// Runs one BFS per node; parallelized across sources.
+TopoStats compute_stats(const Graph& g);
+
+// Figure 17: for each directed edge, the percentage of demands whose
+// preconfigured path set traverses that edge. `paths[d]` is demand d's path
+// set. Returns one value in [0, 100] per edge.
+std::vector<double> routable_demand_share(const Graph& g,
+                                          const std::vector<std::vector<Path>>& paths);
+
+}  // namespace teal::topo

@@ -1,0 +1,217 @@
+#include "topo/topology.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <stdexcept>
+#include <tuple>
+#include <vector>
+
+namespace teal::topo {
+
+namespace {
+
+struct Point {
+  double x, y;
+};
+
+double dist(const Point& a, const Point& b) {
+  return std::hypot(a.x - b.x, a.y - b.y);
+}
+
+// Prim's algorithm over the complete Euclidean graph: O(n^2).
+std::vector<std::pair<int, int>> euclidean_mst(const std::vector<Point>& pts) {
+  const int n = static_cast<int>(pts.size());
+  std::vector<std::pair<int, int>> tree;
+  if (n <= 1) return tree;
+  std::vector<char> in_tree(static_cast<std::size_t>(n), 0);
+  std::vector<double> best(static_cast<std::size_t>(n), 1e18);
+  std::vector<int> best_from(static_cast<std::size_t>(n), 0);
+  in_tree[0] = 1;
+  for (int v = 1; v < n; ++v) {
+    best[static_cast<std::size_t>(v)] = dist(pts[0], pts[static_cast<std::size_t>(v)]);
+  }
+  for (int it = 1; it < n; ++it) {
+    int pick = -1;
+    double bd = 1e18;
+    for (int v = 0; v < n; ++v) {
+      if (!in_tree[static_cast<std::size_t>(v)] && best[static_cast<std::size_t>(v)] < bd) {
+        bd = best[static_cast<std::size_t>(v)];
+        pick = v;
+      }
+    }
+    in_tree[static_cast<std::size_t>(pick)] = 1;
+    tree.emplace_back(best_from[static_cast<std::size_t>(pick)], pick);
+    for (int v = 0; v < n; ++v) {
+      if (in_tree[static_cast<std::size_t>(v)]) continue;
+      double d = dist(pts[static_cast<std::size_t>(pick)], pts[static_cast<std::size_t>(v)]);
+      if (d < best[static_cast<std::size_t>(v)]) {
+        best[static_cast<std::size_t>(v)] = d;
+        best_from[static_cast<std::size_t>(v)] = pick;
+      }
+    }
+  }
+  return tree;
+}
+
+}  // namespace
+
+Graph make_fiber_like(int n_nodes, int n_links, double aspect, std::uint64_t seed,
+                      const std::string& name, double base_capacity) {
+  if (n_links < n_nodes - 1) {
+    throw std::invalid_argument("make_fiber_like: n_links must allow a spanning tree");
+  }
+  util::Rng rng(seed);
+  std::vector<Point> pts(static_cast<std::size_t>(n_nodes));
+  for (auto& p : pts) {
+    p.x = rng.uniform(0.0, aspect);
+    p.y = rng.uniform(0.0, 1.0);
+  }
+  Graph g(name);
+  g.add_nodes(n_nodes);
+
+  std::set<std::pair<int, int>> used;  // normalized (a<b)
+  auto norm = [](int a, int b) { return a < b ? std::make_pair(a, b) : std::make_pair(b, a); };
+  auto add = [&](int a, int b) {
+    double len = std::max(1e-3, dist(pts[static_cast<std::size_t>(a)],
+                                     pts[static_cast<std::size_t>(b)]));
+    // Mild capacity heterogeneity (+-25%) so that min-MLU is nontrivial.
+    double cap = base_capacity * (0.75 + 0.5 * rng.uniform());
+    g.add_link(a, b, cap, len);
+    used.insert(norm(a, b));
+  };
+
+  for (auto [a, b] : euclidean_mst(pts)) add(a, b);
+
+  // Chords: candidate pairs sorted by Euclidean distance; add nearest first,
+  // matching how carriers lay redundant fiber between nearby cities.
+  std::vector<std::tuple<double, int, int>> cands;
+  for (int a = 0; a < n_nodes; ++a) {
+    for (int b = a + 1; b < n_nodes; ++b) {
+      if (!used.count({a, b})) {
+        cands.emplace_back(dist(pts[static_cast<std::size_t>(a)],
+                                pts[static_cast<std::size_t>(b)]),
+                           a, b);
+      }
+    }
+  }
+  std::sort(cands.begin(), cands.end());
+  std::size_t next = 0;
+  while (static_cast<int>(used.size()) < n_links && next < cands.size()) {
+    auto [d, a, b] = cands[next++];
+    (void)d;
+    add(a, b);
+  }
+  if (static_cast<int>(used.size()) != n_links) {
+    throw std::runtime_error("make_fiber_like: could not reach target link count");
+  }
+  return g;
+}
+
+Graph make_hub_spoke(int n_nodes, int n_links, int n_hubs, std::uint64_t seed,
+                     const std::string& name, double base_capacity,
+                     double core_capacity_mult, double leaf_capacity_mult) {
+  if (n_hubs < 2 || n_hubs > n_nodes) throw std::invalid_argument("make_hub_spoke: bad n_hubs");
+  const int n_leaves = n_nodes - n_hubs;
+  if (n_links < n_nodes - 1) throw std::invalid_argument("make_hub_spoke: too few links");
+
+  util::Rng rng(seed);
+  Graph g(name);
+  g.add_nodes(n_nodes);  // nodes [0, n_hubs) are hubs, the rest are leaves
+
+  std::set<std::pair<int, int>> used;
+  auto norm = [](int a, int b) { return a < b ? std::make_pair(a, b) : std::make_pair(b, a); };
+  auto add = [&](int a, int b, double cap_mult) {
+    double lat = 0.5 + rng.uniform();  // AS-level hops have less geographic meaning
+    g.add_link(a, b, base_capacity * cap_mult * (0.75 + 0.5 * rng.uniform()), lat);
+    used.insert(norm(a, b));
+  };
+
+  // Hub ring first so the core is connected even before random core links.
+  for (int h = 0; h < n_hubs; ++h) add(h, (h + 1) % n_hubs, core_capacity_mult);
+
+  // Each leaf homes to one random hub (star-shaped clusters).
+  for (int l = 0; l < n_leaves; ++l) {
+    int leaf = n_hubs + l;
+    int hub = static_cast<int>(rng.uniform_int(0, n_hubs - 1));
+    add(leaf, hub, leaf_capacity_mult);
+  }
+
+  // Spend the remaining link budget: mostly dense hub-hub core links, with a
+  // fraction of leaves getting a second home (multi-homing).
+  int remaining = n_links - static_cast<int>(used.size());
+  int multi_home = std::min(remaining / 5, n_leaves / 4);
+  for (int i = 0; i < multi_home; ++i) {
+    int leaf = n_hubs + static_cast<int>(rng.uniform_int(0, n_leaves - 1));
+    int hub = static_cast<int>(rng.uniform_int(0, n_hubs - 1));
+    if (!used.count(norm(leaf, hub))) add(leaf, hub, leaf_capacity_mult);
+  }
+  int guard = 0;
+  while (static_cast<int>(used.size()) < n_links) {
+    int a = static_cast<int>(rng.uniform_int(0, n_hubs - 1));
+    int b = static_cast<int>(rng.uniform_int(0, n_hubs - 1));
+    if (a != b && !used.count(norm(a, b))) add(a, b, core_capacity_mult);
+    if (++guard > 100 * n_links) {
+      // Hub core saturated; fall back to random leaf-hub links.
+      int leaf = n_hubs + static_cast<int>(rng.uniform_int(0, n_leaves - 1));
+      int hub = static_cast<int>(rng.uniform_int(0, n_hubs - 1));
+      if (!used.count(norm(leaf, hub))) add(leaf, hub, leaf_capacity_mult);
+    }
+  }
+  return g;
+}
+
+Graph make_b4(double base_capacity) {
+  // 12 sites: 0-5 North America, 6-7 Europe, 8-11 Asia. 19 bidirectional
+  // links arranged as in the published B4 map: meshy US core, transatlantic
+  // and transpacific pairs, regional rings.
+  Graph g("B4");
+  g.add_nodes(12);
+  struct L {
+    int a, b;
+    double lat;
+  };
+  const L links[] = {
+      {0, 1, 1.0},  {0, 2, 1.5},  {1, 2, 1.0},  {1, 3, 2.0},  {2, 4, 2.2},
+      {3, 4, 1.0},  {3, 5, 1.2},  {4, 5, 1.0},  {4, 6, 6.0},  {5, 7, 6.5},
+      {6, 7, 1.0},  {6, 8, 7.5},  {7, 9, 8.0},  {8, 9, 1.2},  {8, 10, 1.5},
+      {9, 11, 1.4}, {10, 11, 1.0}, {0, 10, 9.0}, {2, 11, 9.5},
+  };
+  static_assert(sizeof(links) / sizeof(links[0]) == 19);
+  for (const auto& l : links) g.add_link(l.a, l.b, base_capacity, l.lat);
+  return g;
+}
+
+Graph make_swan_like(std::uint64_t seed, double base_capacity) {
+  // O(100) nodes/edges per the paper: 110 nodes, 195 bidirectional links,
+  // moderately meshy (inter-datacenter WANs are denser than carrier fiber).
+  return make_fiber_like(110, 195, 2.0, seed, "SWAN", base_capacity);
+}
+
+Graph make_uscarrier_like(std::uint64_t seed, double base_capacity) {
+  // 158 nodes / 378 directed edges; elongated to reproduce the hop-count
+  // statistics in Table 3 (avg 12.1, diameter 35).
+  return make_fiber_like(158, 189, 16.0, seed, "UsCarrier", base_capacity);
+}
+
+Graph make_kdl_like(std::uint64_t seed, double base_capacity) {
+  // 754 nodes / 1790 directed edges (avg 22.7, diameter 58).
+  return make_fiber_like(754, 895, 24.0, seed, "Kdl", base_capacity);
+}
+
+Graph make_asn_like(std::uint64_t seed, double base_capacity) {
+  // 1739 nodes / 8558 directed edges; 80 hub ASes with a dense core and
+  // star-shaped customer clusters (avg path 3.2, diameter 8 per Table 3).
+  return make_hub_spoke(1739, 4279, 80, seed, "ASN", base_capacity);
+}
+
+Graph make_topology(const std::string& name, std::uint64_t seed, double base_capacity) {
+  if (name == "B4") return make_b4(base_capacity);
+  if (name == "SWAN") return make_swan_like(seed, base_capacity);
+  if (name == "UsCarrier") return make_uscarrier_like(seed, base_capacity);
+  if (name == "Kdl") return make_kdl_like(seed, base_capacity);
+  if (name == "ASN") return make_asn_like(seed, base_capacity);
+  throw std::invalid_argument("make_topology: unknown topology " + name);
+}
+
+}  // namespace teal::topo

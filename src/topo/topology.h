@@ -1,0 +1,68 @@
+// topology.h — generators for the five evaluation WANs (Table 1).
+//
+// The paper evaluates on B4, SWAN, UsCarrier, Kdl (Internet Topology Zoo) and
+// an AS-level "ASN" graph (CAIDA). SWAN is proprietary and the Zoo/CAIDA
+// datasets are not vendored here, so we generate *structure-matched*
+// synthetic topologies: node and directed-edge counts match Table 1 exactly,
+// and the generators reproduce the structural traits the paper calls out in
+// Appendix D — UsCarrier/Kdl are sparse fiber maps with long shortest paths
+// and large diameters, while ASN consists of interconnected star-shaped
+// clusters with a dense core, giving it anomalously short paths (avg 3.2,
+// diameter 8) and a low per-edge routable-demand share (Fig 17).
+//
+// Two reusable generators underlie them:
+//  * make_fiber_like  — Euclidean MST over points in an elongated rectangle
+//                       plus nearest-neighbor chords (carrier fiber maps).
+//  * make_hub_spoke   — star clusters around hub nodes plus a dense hub core
+//                       (AS-level connectivity).
+#pragma once
+
+#include <cstdint>
+
+#include "topo/graph.h"
+#include "util/rng.h"
+
+namespace teal::topo {
+
+// Google's B4 inter-datacenter WAN: 12 sites, 19 bidirectional long-haul
+// links (38 directed edges). The site layout follows the published topology
+// (2013 SIGCOMM paper): two US coasts, Europe, and Asia.
+Graph make_b4(double base_capacity = 1000.0);
+
+// SWAN-like topology. The paper anonymizes Microsoft's WAN as O(100) nodes
+// and O(100) edges; we use 110 nodes / 195 bidirectional links.
+Graph make_swan_like(std::uint64_t seed = 1, double base_capacity = 1000.0);
+
+// UsCarrier-like: 158 nodes / 189 bidirectional links (378 directed edges).
+Graph make_uscarrier_like(std::uint64_t seed = 2, double base_capacity = 1000.0);
+
+// Kdl-like: 754 nodes / 895 bidirectional links (1790 directed edges).
+Graph make_kdl_like(std::uint64_t seed = 3, double base_capacity = 1000.0);
+
+// ASN-like: 1739 nodes / 4279 bidirectional links (8558 directed edges),
+// star-shaped clusters with a dense core.
+Graph make_asn_like(std::uint64_t seed = 4, double base_capacity = 1000.0);
+
+// Dispatch by canonical name ("B4", "SWAN", "UsCarrier", "Kdl", "ASN").
+Graph make_topology(const std::string& name, std::uint64_t seed = 1,
+                    double base_capacity = 1000.0);
+
+// Generic fiber-map generator: `n_nodes` points in a rectangle with the given
+// aspect ratio, connected by their Euclidean MST plus nearest-neighbor chords
+// until `n_links` bidirectional links exist. Guarantees connectivity; link
+// latencies are the Euclidean lengths.
+Graph make_fiber_like(int n_nodes, int n_links, double aspect, std::uint64_t seed,
+                      const std::string& name, double base_capacity);
+
+// Generic hub-and-spoke generator: `n_hubs` hubs with a dense random core;
+// the remaining nodes are leaves attached to 1–2 hubs. Produces exactly
+// `n_links` bidirectional links. Hub-hub links get `core_capacity_mult`× and
+// leaf-access links `leaf_capacity_mult`× the base capacity. Generous access
+// capacity keeps congestion in the core, where path diversity exists and TE
+// quality matters (as in real AS-level graphs, where the contended links are
+// inter-AS).
+Graph make_hub_spoke(int n_nodes, int n_links, int n_hubs, std::uint64_t seed,
+                     const std::string& name, double base_capacity,
+                     double core_capacity_mult = 1.0, double leaf_capacity_mult = 8.0);
+
+}  // namespace teal::topo

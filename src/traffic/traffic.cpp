@@ -1,0 +1,270 @@
+#include "traffic/traffic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+
+#include "te/objective.h"
+#include "util/stats.h"
+
+namespace teal::traffic {
+
+std::vector<te::Demand> sample_demands(const topo::Graph& g, int n_demands,
+                                       std::uint64_t seed) {
+  const auto n = g.num_nodes();
+  const std::int64_t all_pairs = static_cast<std::int64_t>(n) * (n - 1);
+  if (n_demands >= all_pairs) return te::all_pairs_demands(g);
+
+  util::Rng rng(seed);
+  // Lognormal node masses: a few sites source/sink most traffic.
+  std::vector<double> mass(static_cast<std::size_t>(n));
+  for (auto& m : mass) m = rng.lognormal(0.0, 1.0);
+
+  std::set<std::pair<topo::NodeId, topo::NodeId>> chosen;
+  std::vector<te::Demand> out;
+  int guard = 0;
+  while (static_cast<int>(out.size()) < n_demands) {
+    auto s = static_cast<topo::NodeId>(rng.categorical(mass));
+    auto t = static_cast<topo::NodeId>(rng.categorical(mass));
+    if (s == t) continue;
+    if (chosen.insert({s, t}).second) out.push_back(te::Demand{s, t});
+    if (++guard > 200 * n_demands) {
+      throw std::runtime_error("sample_demands: cannot reach target count");
+    }
+  }
+  return out;
+}
+
+Trace generate_trace(const te::Problem& pb, const TraceConfig& cfg) {
+  util::Rng rng(cfg.seed);
+  const auto nd = static_cast<std::size_t>(pb.num_demands());
+
+  // Base (time-invariant) volumes: gravity product of node masses times a
+  // heavy-tailed lognormal. The sigma controls the top-10% share.
+  util::Rng mass_rng = rng.fork(1);
+  std::vector<double> mass(static_cast<std::size_t>(pb.graph().num_nodes()));
+  for (auto& m : mass) m = mass_rng.lognormal(0.0, 0.5);
+  std::vector<double> base(nd);
+  util::Rng base_rng = rng.fork(2);
+  for (std::size_t d = 0; d < nd; ++d) {
+    const auto& dem = pb.demand(static_cast<int>(d));
+    double gravity = mass[static_cast<std::size_t>(dem.src)] *
+                     mass[static_cast<std::size_t>(dem.dst)];
+    base[d] = cfg.mean_volume * gravity *
+              base_rng.lognormal(-0.5 * cfg.heavy_tail_sigma * cfg.heavy_tail_sigma,
+                                 cfg.heavy_tail_sigma);
+  }
+
+  // Multiplicative AR(1) state per demand, in log space.
+  std::vector<double> log_state(nd, 0.0);
+  util::Rng noise_rng = rng.fork(3);
+  util::Rng phase_rng = rng.fork(4);
+  const double phase = phase_rng.uniform(0.0, 2.0 * M_PI);
+
+  Trace trace;
+  trace.matrices.resize(static_cast<std::size_t>(cfg.n_intervals));
+  for (int t = 0; t < cfg.n_intervals; ++t) {
+    double day_pos = 2.0 * M_PI * static_cast<double>(t) /
+                     static_cast<double>(cfg.intervals_per_day);
+    double diurnal = 1.0 + cfg.diurnal_amplitude * std::sin(day_pos + phase);
+    auto& tm = trace.matrices[static_cast<std::size_t>(t)];
+    tm.volume.resize(nd);
+    for (std::size_t d = 0; d < nd; ++d) {
+      log_state[d] = cfg.ar1_rho * log_state[d] + noise_rng.normal(0.0, cfg.ar1_sigma);
+      tm.volume[d] = base[d] * diurnal * std::exp(log_state[d]);
+    }
+  }
+  return trace;
+}
+
+TraceSplit split_trace(const Trace& trace) {
+  const int n = trace.size();
+  const int n_train = n * 7 / 10;
+  const int n_val = n / 10;
+  TraceSplit s;
+  s.train.matrices.assign(trace.matrices.begin(), trace.matrices.begin() + n_train);
+  s.val.matrices.assign(trace.matrices.begin() + n_train,
+                        trace.matrices.begin() + n_train + n_val);
+  s.test.matrices.assign(trace.matrices.begin() + n_train + n_val, trace.matrices.end());
+  return s;
+}
+
+double top_share(const Trace& trace, double top_frac) {
+  if (trace.size() == 0) throw std::invalid_argument("top_share: empty trace");
+  // Rank demands by mean volume, then compute the share of the top fraction.
+  const std::size_t nd = trace.matrices[0].volume.size();
+  std::vector<double> mean_vol(nd, 0.0);
+  for (const auto& tm : trace.matrices) {
+    for (std::size_t d = 0; d < nd; ++d) mean_vol[d] += tm.volume[d];
+  }
+  std::vector<std::size_t> order(nd);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return mean_vol[a] > mean_vol[b]; });
+  auto top_k = static_cast<std::size_t>(std::ceil(top_frac * static_cast<double>(nd)));
+  double top = 0.0, total = 0.0;
+  for (std::size_t i = 0; i < nd; ++i) {
+    total += mean_vol[order[i]];
+    if (i < top_k) top += mean_vol[order[i]];
+  }
+  return total > 0.0 ? top / total : 0.0;
+}
+
+std::vector<std::size_t> top_demand_indices(const Trace& trace, double top_frac) {
+  if (trace.size() == 0) throw std::invalid_argument("top_demand_indices: empty trace");
+  const std::size_t nd = trace.matrices[0].volume.size();
+  std::vector<double> mean_vol(nd, 0.0);
+  for (const auto& tm : trace.matrices) {
+    for (std::size_t d = 0; d < nd; ++d) mean_vol[d] += tm.volume[d];
+  }
+  std::vector<std::size_t> order(nd);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return mean_vol[a] > mean_vol[b]; });
+  auto top_k = static_cast<std::size_t>(std::ceil(top_frac * static_cast<double>(nd)));
+  order.resize(std::min(top_k, nd));
+  return order;
+}
+
+double share_of(const Trace& trace, const std::vector<std::size_t>& demands) {
+  if (trace.size() == 0) throw std::invalid_argument("share_of: empty trace");
+  const std::size_t nd = trace.matrices[0].volume.size();
+  std::vector<char> in_set(nd, 0);
+  for (std::size_t d : demands) in_set.at(d) = 1;
+  double top = 0.0, total = 0.0;
+  for (const auto& tm : trace.matrices) {
+    for (std::size_t d = 0; d < nd; ++d) {
+      total += tm.volume[d];
+      if (in_set[d]) top += tm.volume[d];
+    }
+  }
+  return total > 0.0 ? top / total : 0.0;
+}
+
+Trace perturb_temporal(const Trace& trace, double factor, std::uint64_t seed) {
+  if (trace.size() < 2) throw std::invalid_argument("perturb_temporal: trace too short");
+  util::Rng rng(seed);
+  const std::size_t nd = trace.matrices[0].volume.size();
+  // Variance of consecutive changes per demand (the paper's recipe, §5.4).
+  std::vector<double> var(nd, 0.0);
+  for (std::size_t d = 0; d < nd; ++d) {
+    std::vector<double> deltas;
+    deltas.reserve(static_cast<std::size_t>(trace.size()) - 1);
+    for (int t = 1; t < trace.size(); ++t) {
+      deltas.push_back(trace.matrices[static_cast<std::size_t>(t)].volume[d] -
+                       trace.matrices[static_cast<std::size_t>(t - 1)].volume[d]);
+    }
+    var[d] = util::variance(deltas);
+  }
+  Trace out = trace;
+  for (auto& tm : out.matrices) {
+    for (std::size_t d = 0; d < nd; ++d) {
+      double sigma = std::sqrt(std::max(0.0, factor * var[d]));
+      tm.volume[d] = std::max(0.0, tm.volume[d] + rng.normal(0.0, sigma));
+    }
+  }
+  return out;
+}
+
+Trace perturb_spatial(const Trace& trace, double target_share) {
+  if (target_share <= 0.0 || target_share >= 1.0) {
+    throw std::invalid_argument("perturb_spatial: target_share must be in (0,1)");
+  }
+  const std::size_t nd = trace.matrices[0].volume.size();
+  // Identify the current top 10% of demands by mean volume.
+  std::vector<double> mean_vol(nd, 0.0);
+  for (const auto& tm : trace.matrices) {
+    for (std::size_t d = 0; d < nd; ++d) mean_vol[d] += tm.volume[d];
+  }
+  std::vector<std::size_t> order(nd);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return mean_vol[a] > mean_vol[b]; });
+  auto top_k = static_cast<std::size_t>(std::ceil(0.10 * static_cast<double>(nd)));
+  std::vector<char> is_top(nd, 0);
+  for (std::size_t i = 0; i < top_k && i < nd; ++i) is_top[order[i]] = 1;
+
+  Trace out = trace;
+  for (auto& tm : out.matrices) {
+    double top = 0.0, rest = 0.0;
+    for (std::size_t d = 0; d < nd; ++d) (is_top[d] ? top : rest) += tm.volume[d];
+    double total = top + rest;
+    if (total <= 0.0 || top <= 0.0 || rest <= 0.0) continue;
+    double top_scale = target_share * total / top;
+    double rest_scale = (1.0 - target_share) * total / rest;
+    for (std::size_t d = 0; d < nd; ++d) {
+      tm.volume[d] *= is_top[d] ? top_scale : rest_scale;
+    }
+  }
+  return out;
+}
+
+namespace {
+te::TrafficMatrix mean_matrix(const Trace& trace) {
+  te::TrafficMatrix mean_tm;
+  mean_tm.volume.assign(trace.matrices[0].volume.size(), 0.0);
+  for (const auto& tm : trace.matrices) {
+    for (std::size_t d = 0; d < mean_tm.volume.size(); ++d) {
+      mean_tm.volume[d] += tm.volume[d] / static_cast<double>(trace.size());
+    }
+  }
+  return mean_tm;
+}
+}  // namespace
+
+void calibrate_capacities_to_satisfied(te::Problem& pb, const Trace& trace,
+                                       double target_pct, int bisect_iters) {
+  if (trace.size() == 0) {
+    throw std::invalid_argument("calibrate_capacities_to_satisfied: empty trace");
+  }
+  if (target_pct <= 0.0 || target_pct > 100.0) {
+    throw std::invalid_argument("calibrate_capacities_to_satisfied: bad target");
+  }
+  te::TrafficMatrix mean_tm = mean_matrix(trace);
+  te::Allocation sp = pb.shortest_path_allocation();
+  const std::vector<double> base = pb.capacities();
+  auto sat_at = [&](double scale) {
+    std::vector<double> caps(base.size());
+    for (std::size_t e = 0; e < base.size(); ++e) caps[e] = base[e] * scale;
+    return te::satisfied_demand_pct(pb, mean_tm, sp, &caps);
+  };
+  // Satisfied demand is nondecreasing in the scale; bracket then bisect.
+  double lo = 1e-6, hi = 1.0;
+  while (sat_at(hi) < target_pct && hi < 1e9) hi *= 4.0;
+  for (int it = 0; it < bisect_iters; ++it) {
+    double mid = 0.5 * (lo + hi);
+    if (sat_at(mid) < target_pct) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  pb.mutable_graph().scale_capacities(hi);
+}
+
+void calibrate_capacities(te::Problem& pb, const Trace& trace, double target_util) {
+  if (trace.size() == 0) throw std::invalid_argument("calibrate_capacities: empty trace");
+  if (target_util <= 0.0) throw std::invalid_argument("calibrate_capacities: bad target");
+  // Mean matrix over the trace.
+  te::TrafficMatrix mean_tm;
+  mean_tm.volume.assign(trace.matrices[0].volume.size(), 0.0);
+  for (const auto& tm : trace.matrices) {
+    for (std::size_t d = 0; d < mean_tm.volume.size(); ++d) {
+      mean_tm.volume[d] += tm.volume[d] / static_cast<double>(trace.size());
+    }
+  }
+  te::Allocation sp = pb.shortest_path_allocation();
+  auto load = te::edge_loads(pb, mean_tm, sp);
+  double worst = 0.0;
+  for (std::size_t e = 0; e < load.size(); ++e) {
+    double c = pb.graph().edge(static_cast<topo::EdgeId>(e)).capacity;
+    if (c > 0.0) worst = std::max(worst, load[e] / c);
+  }
+  if (worst <= 0.0) return;
+  // After scaling, the busiest shortest-path link sits at target_util.
+  pb.mutable_graph().scale_capacities(worst / target_util);
+}
+
+}  // namespace teal::traffic

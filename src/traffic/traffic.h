@@ -1,0 +1,99 @@
+// traffic.h — synthetic WAN traffic traces (substitute for the proprietary
+// 20-day Microsoft SWAN dataset, §5.1).
+//
+// The paper reveals these aggregate properties of its traces, all of which
+// the generator reproduces:
+//   * 5-minute intervals; 700 consecutive training matrices, 100 validation,
+//     200 test (we keep the same split proportions at configurable length);
+//   * a heavy-tailed spatial distribution: the top 10% of demands carry 88.4%
+//     of the total volume (we calibrate a lognormal so the share matches);
+//   * organic temporal behaviour: diurnal modulation plus autocorrelated
+//     per-demand noise (multiplicative AR(1)).
+//
+// It also implements the §5.4 robustness perturbations: temporal fluctuation
+// scaling (variance of consecutive deltas multiplied by 2/5/10/20) and
+// spatial redistribution (re-targeting the top-10% share to 80/60/40/20%).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "te/problem.h"
+#include "util/rng.h"
+
+namespace teal::traffic {
+
+struct TraceConfig {
+  std::uint64_t seed = 7;
+  int n_intervals = 100;       // total matrices in the trace
+  double mean_volume = 10.0;   // mean demand volume before calibration
+  double heavy_tail_sigma = 2.48;  // lognormal sigma; 2.48 gives ~88.4% top-10% share
+  double diurnal_amplitude = 0.3;  // +-30% day/night swing
+  int intervals_per_day = 288;     // 5-minute intervals
+  double ar1_rho = 0.9;            // temporal autocorrelation of demand noise
+  double ar1_sigma = 0.08;         // per-step lognormal noise scale
+};
+
+// A trace is a sequence of TrafficMatrices over the same Problem demand set.
+struct Trace {
+  std::vector<te::TrafficMatrix> matrices;
+
+  int size() const { return static_cast<int>(matrices.size()); }
+  const te::TrafficMatrix& at(int t) const { return matrices[static_cast<std::size_t>(t)]; }
+};
+
+// Train/validation/test views into one trace (700/100/200 proportions).
+struct TraceSplit {
+  Trace train, val, test;
+};
+
+// Samples `n_demands` demand pairs from g, gravity-weighted by lognormal node
+// masses (hubs attract more traffic). If n_demands >= all pairs, returns all
+// pairs. Used to cap problem scale on Kdl/ASN (DESIGN.md substitution #5).
+std::vector<te::Demand> sample_demands(const topo::Graph& g, int n_demands,
+                                       std::uint64_t seed);
+
+// Generates a trace for the problem's demand set.
+Trace generate_trace(const te::Problem& pb, const TraceConfig& cfg);
+
+// Splits a trace 70/10/20 in order (consecutive intervals, like the paper).
+TraceSplit split_trace(const Trace& trace);
+
+// Fraction (0..1) of total volume carried by the top `top_frac` of demands,
+// averaged across the trace. Used by tests to verify the 88.4% calibration.
+double top_share(const Trace& trace, double top_frac = 0.10);
+
+// Indices of the top `top_frac` demands by mean volume over the trace.
+std::vector<std::size_t> top_demand_indices(const Trace& trace, double top_frac = 0.10);
+
+// Fraction of total volume carried by a *fixed* demand set — §5.4's spatial
+// redistribution re-targets the share of the original top-10% set, which may
+// no longer be the top set after redistribution.
+double share_of(const Trace& trace, const std::vector<std::size_t>& demands);
+
+// §5.4 temporal fluctuation: for each demand, computes the variance of its
+// consecutive-interval changes, multiplies it by `factor`, and adds zero-mean
+// normal noise with that variance to every interval (clamped at >= 0).
+Trace perturb_temporal(const Trace& trace, double factor, std::uint64_t seed);
+
+// §5.4 spatial redistribution: rescales the current top-10% demands so they
+// carry `target_share` (0..1) of the total volume, redistributing the
+// remainder to the other demands proportionally; total volume is preserved.
+Trace perturb_spatial(const Trace& trace, double target_share);
+
+// Scales every edge capacity so that routing the trace's mean matrix fully
+// over shortest paths would load the busiest link to `target_util` (>1 means
+// deliberate oversubscription). This is the paper's "set the capacities to
+// ensure that the best-performing TE scheme satisfies a majority of traffic
+// demand": with target_util ~1.5 the optimum lands near 90%.
+void calibrate_capacities(te::Problem& pb, const Trace& trace, double target_util = 1.5);
+
+// Stronger calibration knob: bisects a global capacity scale until routing
+// the mean matrix entirely over shortest paths satisfies `target_pct` of the
+// demand. Setting ~70-75% creates the congested regime where TE quality
+// differentiates the schemes (the optimum then lands in the high 80s, as in
+// the paper's figures).
+void calibrate_capacities_to_satisfied(te::Problem& pb, const Trace& trace,
+                                       double target_pct = 72.0, int bisect_iters = 30);
+
+}  // namespace teal::traffic

@@ -1,0 +1,67 @@
+#include "util/csv.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace teal::util {
+
+void Table::add_row(std::vector<std::string> row) {
+  if (row.size() != header_.size()) {
+    throw std::invalid_argument("Table::add_row: column count mismatch");
+  }
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size(); ++c) width[c] = std::max(width[c], r[c].size());
+  }
+  std::ostringstream oss;
+  auto emit = [&](const std::vector<std::string>& row) {
+    oss << "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      oss << " " << row[c] << std::string(width[c] - row[c].size(), ' ') << " |";
+    }
+    oss << "\n";
+  };
+  emit(header_);
+  oss << "|";
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    oss << std::string(width[c] + 2, '-') << "|";
+  }
+  oss << "\n";
+  for (const auto& r : rows_) emit(r);
+  return oss.str();
+}
+
+namespace {
+std::string csv_escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char ch : s) {
+    if (ch == '"') out += "\"\"";
+    else out += ch;
+  }
+  out += "\"";
+  return out;
+}
+}  // namespace
+
+void Table::write_csv(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("Table::write_csv: cannot open " + path);
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) f << ",";
+      f << csv_escape(row[c]);
+    }
+    f << "\n";
+  };
+  emit(header_);
+  for (const auto& r : rows_) emit(r);
+}
+
+}  // namespace teal::util

@@ -1,0 +1,36 @@
+// csv.h — small CSV/markdown table writers for bench output.
+//
+// Every bench binary prints the paper's table/figure as (a) a human-readable
+// aligned table on stdout and (b) optionally a CSV file so the series can be
+// re-plotted. Keeping this in one place guarantees uniform formatting across
+// the 14 bench targets.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace teal::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+  void add_row(std::vector<std::string> row);
+
+  // Renders an aligned, pipe-separated table (markdown-compatible).
+  std::string to_string() const;
+
+  // Writes RFC-4180-ish CSV (fields containing commas/quotes are quoted).
+  void write_csv(const std::string& path) const;
+
+  std::size_t n_rows() const { return rows_.size(); }
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace teal::util

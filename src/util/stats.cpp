@@ -1,0 +1,76 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace teal::util {
+
+double mean(const std::vector<double>& xs) {
+  if (xs.empty()) throw std::invalid_argument("mean: empty");
+  return std::accumulate(xs.begin(), xs.end(), 0.0) / static_cast<double>(xs.size());
+}
+
+double variance(const std::vector<double>& xs) {
+  if (xs.empty()) throw std::invalid_argument("variance: empty");
+  double m = mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return acc / static_cast<double>(xs.size());
+}
+
+double stddev(const std::vector<double>& xs) { return std::sqrt(variance(xs)); }
+
+double min_of(const std::vector<double>& xs) {
+  if (xs.empty()) throw std::invalid_argument("min_of: empty");
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max_of(const std::vector<double>& xs) {
+  if (xs.empty()) throw std::invalid_argument("max_of: empty");
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double percentile(std::vector<double> xs, double q) {
+  if (xs.empty()) throw std::invalid_argument("percentile: empty");
+  if (q < 0.0 || q > 100.0) throw std::invalid_argument("percentile: q out of range");
+  std::sort(xs.begin(), xs.end());
+  if (xs.size() == 1) return xs[0];
+  double pos = q / 100.0 * static_cast<double>(xs.size() - 1);
+  auto lo = static_cast<std::size_t>(pos);
+  auto hi = std::min(lo + 1, xs.size() - 1);
+  double frac = pos - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+double median(const std::vector<double>& xs) { return percentile(xs, 50.0); }
+
+double Cdf::prob_at(double v) const {
+  auto it = std::upper_bound(values.begin(), values.end(), v);
+  if (it == values.begin()) return 0.0;
+  return probs[static_cast<std::size_t>(it - values.begin()) - 1];
+}
+
+Cdf make_cdf(std::vector<double> xs) {
+  if (xs.empty()) throw std::invalid_argument("make_cdf: empty");
+  std::sort(xs.begin(), xs.end());
+  Cdf cdf;
+  cdf.values = std::move(xs);
+  cdf.probs.resize(cdf.values.size());
+  for (std::size_t i = 0; i < cdf.probs.size(); ++i) {
+    cdf.probs[i] = static_cast<double>(i + 1) / static_cast<double>(cdf.probs.size());
+  }
+  return cdf;
+}
+
+std::string fmt(double v, int precision) {
+  std::ostringstream oss;
+  oss.setf(std::ios::fixed);
+  oss.precision(precision);
+  oss << v;
+  return oss.str();
+}
+
+}  // namespace teal::util

@@ -1,0 +1,36 @@
+// stats.h — descriptive statistics and CDF helpers used by the benchmark
+// harness (Figures 6, 7, 13 report means, percentiles and CDF curves).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace teal::util {
+
+double mean(const std::vector<double>& xs);
+double variance(const std::vector<double>& xs);  // population variance
+double stddev(const std::vector<double>& xs);
+double min_of(const std::vector<double>& xs);
+double max_of(const std::vector<double>& xs);
+
+// Linear-interpolation percentile, q in [0, 100].
+double percentile(std::vector<double> xs, double q);
+double median(const std::vector<double>& xs);
+
+// An empirical CDF: sorted sample values paired with cumulative probability,
+// suitable for printing the CDF figures (7a, 7b) as two-column series.
+struct Cdf {
+  std::vector<double> values;  // ascending
+  std::vector<double> probs;   // in (0, 1], same length
+
+  // P(X <= v) under the empirical distribution.
+  double prob_at(double v) const;
+};
+
+Cdf make_cdf(std::vector<double> xs);
+
+// Formats "12.3" / "0.97" style numbers for table output.
+std::string fmt(double v, int precision = 2);
+
+}  // namespace teal::util

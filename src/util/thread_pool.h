@@ -1,0 +1,74 @@
+// thread_pool.h — fixed-size worker pool used to emulate the data-parallel
+// execution that the paper obtains from GPUs.
+//
+// Teal's thesis is architectural: its inference pass and ADMM iterations are
+// embarrassingly parallel, whereas LP solvers are inherently sequential. We
+// reproduce that asymmetry on CPU: every parallelizable kernel in this repo
+// (message passing, per-demand policy evaluation, per-edge/per-path ADMM
+// updates, feasibility repair) goes through this pool, while the simplex
+// solver runs single-threaded, exactly like the paper's Gurobi baseline
+// (which gains only marginal speedup from extra threads, Figure 2).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace teal::util {
+
+class ThreadPool {
+ public:
+  // Creates a pool with `n_threads` workers. `n_threads == 0` selects the
+  // hardware concurrency (minimum 1).
+  explicit ThreadPool(std::size_t n_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  // Enqueues an arbitrary task; returns a future for its result.
+  template <typename F>
+  auto submit(F&& f) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> fut = task->get_future();
+    {
+      std::lock_guard lock(mu_);
+      tasks_.emplace([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  // Runs `fn(i)` for i in [0, n) across the pool and blocks until all
+  // iterations complete. Work is divided into contiguous chunks, one per
+  // worker, which is the right granularity for the dense numeric loops here.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  // Chunked variant: `fn(begin, end)` is invoked once per chunk. Lower
+  // overhead when the per-index work is tiny.
+  void parallel_chunks(std::size_t n,
+                       const std::function<void(std::size_t, std::size_t)>& fn);
+
+  // Process-wide pool sized to the hardware. Most callers should use this
+  // instead of constructing their own.
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace teal::util

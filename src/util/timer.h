@@ -1,0 +1,48 @@
+// timer.h — wall-clock timing for the computation-time metric (§5.1).
+//
+// The paper measures "total time required by each scheme to compute flow
+// allocation amortized over each traffic matrix, carefully excluding one-time
+// costs". Schemes wrap their solve path in a Timer; one-time setup (path
+// precomputation, model loading, Gurobi-style model *construction* where the
+// paper excludes it) happens outside the timed region.
+#pragma once
+
+#include <chrono>
+
+namespace teal::util {
+
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  // Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+// Accumulates time across multiple disjoint timed sections (e.g. LP-top's
+// "Gurobi run time + model rebuilding time" breakdown in Table 2).
+class StopWatch {
+ public:
+  void start() { running_ = true; t_.reset(); }
+  void stop() {
+    if (running_) total_ += t_.seconds();
+    running_ = false;
+  }
+  double total_seconds() const { return total_; }
+  void clear() { total_ = 0.0; running_ = false; }
+
+ private:
+  Timer t_;
+  double total_ = 0.0;
+  bool running_ = false;
+};
+
+}  // namespace teal::util

@@ -1,0 +1,74 @@
+// Tests for the analysis tooling (exact t-SNE used by Figure 16).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/tsne.h"
+#include "util/rng.h"
+
+namespace teal {
+namespace {
+
+TEST(Tsne, EmptyAndTrivialInputs) {
+  EXPECT_TRUE(analysis::tsne_2d({}).empty());
+}
+
+TEST(Tsne, SeparatesTwoGaussianClusters) {
+  util::Rng rng(3);
+  std::vector<std::vector<double>> pts;
+  const int per_cluster = 60;
+  for (int i = 0; i < per_cluster; ++i) {
+    pts.push_back({rng.normal(0.0, 0.3), rng.normal(0.0, 0.3), rng.normal(0.0, 0.3)});
+  }
+  for (int i = 0; i < per_cluster; ++i) {
+    pts.push_back({rng.normal(8.0, 0.3), rng.normal(8.0, 0.3), rng.normal(8.0, 0.3)});
+  }
+  analysis::TsneConfig cfg;
+  cfg.n_iterations = 300;
+  cfg.perplexity = 15.0;
+  auto y = analysis::tsne_2d(pts, cfg);
+  ASSERT_EQ(y.size(), pts.size());
+
+  // Mean intra-cluster distance should be far below inter-cluster distance.
+  auto dist = [&](std::size_t i, std::size_t j) {
+    return std::hypot(y[i][0] - y[j][0], y[i][1] - y[j][1]);
+  };
+  double intra = 0.0, inter = 0.0;
+  int ni = 0, nx = 0;
+  for (std::size_t i = 0; i < y.size(); i += 3) {
+    for (std::size_t j = i + 1; j < y.size(); j += 3) {
+      bool same = (i < per_cluster) == (j < per_cluster);
+      if (same) {
+        intra += dist(i, j);
+        ++ni;
+      } else {
+        inter += dist(i, j);
+        ++nx;
+      }
+    }
+  }
+  intra /= ni;
+  inter /= nx;
+  EXPECT_GT(inter, 2.0 * intra);
+}
+
+TEST(Tsne, RaggedInputThrows) {
+  EXPECT_THROW(analysis::tsne_2d({{1.0, 2.0}, {1.0}}), std::invalid_argument);
+}
+
+TEST(Tsne, DeterministicForFixedSeed) {
+  std::vector<std::vector<double>> pts;
+  util::Rng rng(9);
+  for (int i = 0; i < 30; ++i) pts.push_back({rng.normal(), rng.normal()});
+  analysis::TsneConfig cfg;
+  cfg.n_iterations = 50;
+  auto a = analysis::tsne_2d(pts, cfg);
+  auto b = analysis::tsne_2d(pts, cfg);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i][0], b[i][0]);
+    EXPECT_DOUBLE_EQ(a[i][1], b[i][1]);
+  }
+}
+
+}  // namespace
+}  // namespace teal

@@ -1,0 +1,192 @@
+// Tests for the baseline TE schemes: LP-all optimality dominance, LP-top's
+// demand-pinning structure, NCFlow decomposition, POP replication, TEAVAR*.
+#include <gtest/gtest.h>
+
+#include "baselines/lp_schemes.h"
+#include "baselines/ncflow.h"
+#include "baselines/pop.h"
+#include "baselines/teavar.h"
+#include "topo/topology.h"
+#include "traffic/traffic.h"
+
+namespace teal {
+namespace {
+
+struct Setup {
+  te::Problem pb;
+  traffic::Trace trace;
+};
+
+Setup make_setup(const std::string& topo_name, int n_demands, double util = 1.8,
+                 int intervals = 4) {
+  auto g = topo::make_topology(topo_name);
+  auto demands = traffic::sample_demands(g, n_demands, 7);
+  te::Problem pb(std::move(g), std::move(demands), 4);
+  traffic::TraceConfig cfg;
+  cfg.n_intervals = intervals;
+  auto trace = traffic::generate_trace(pb, cfg);
+  traffic::calibrate_capacities(pb, trace, util);
+  return Setup{std::move(pb), std::move(trace)};
+}
+
+TEST(LpAll, FeasibleAndDominatesHeuristics) {
+  auto s = make_setup("B4", 1 << 20);
+  baselines::LpAllScheme lp_all;
+  baselines::LpTopScheme lp_top;
+  const auto& tm = s.trace.at(0);
+  auto a_all = lp_all.solve(s.pb, tm);
+  auto a_top = lp_top.solve(s.pb, tm);
+  s.pb.validate_allocation(a_all);
+  double f_all = te::total_feasible_flow(s.pb, tm, a_all);
+  double f_top = te::total_feasible_flow(s.pb, tm, a_top);
+  // LP-all solves the full problem: offline it must be at least as good
+  // (within solver tolerance).
+  EXPECT_GE(f_all, f_top * 0.995);
+  EXPECT_GT(lp_all.last_solve_seconds(), 0.0);
+}
+
+TEST(LpTop, PinsTailDemandsToShortestPaths) {
+  auto s = make_setup("B4", 1 << 20);
+  baselines::LpTopScheme lp_top(0.10);
+  const auto& tm = s.trace.at(0);
+  auto a = lp_top.solve(s.pb, tm);
+  // Find a demand outside the top 10%: its allocation must be exactly the
+  // shortest path.
+  std::vector<int> order(static_cast<std::size_t>(s.pb.num_demands()));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int x, int y) {
+    return tm.volume[static_cast<std::size_t>(x)] > tm.volume[static_cast<std::size_t>(y)];
+  });
+  int tail_demand = order.back();
+  EXPECT_DOUBLE_EQ(a.split[static_cast<std::size_t>(s.pb.path_begin(tail_demand))], 1.0);
+  for (int p = s.pb.path_begin(tail_demand) + 1; p < s.pb.path_end(tail_demand); ++p) {
+    EXPECT_DOUBLE_EQ(a.split[static_cast<std::size_t>(p)], 0.0);
+  }
+}
+
+TEST(Partition, CoversAllNodesConnected) {
+  auto g = topo::make_uscarrier_like(2);
+  auto part = baselines::partition_nodes(g, 10, 3);
+  ASSERT_EQ(static_cast<int>(part.size()), g.num_nodes());
+  std::set<int> used(part.begin(), part.end());
+  EXPECT_GE(static_cast<int>(used.size()), 8);  // most clusters non-empty
+  for (int c : part) {
+    EXPECT_GE(c, 0);
+    EXPECT_LT(c, 10);
+  }
+}
+
+TEST(NcFlow, ProducesFeasibleAllocation) {
+  auto s = make_setup("UsCarrier", 600);
+  baselines::NcFlowConfig cfg;
+  cfg.pdhg.max_iterations = 4000;
+  baselines::NcFlowScheme ncflow(s.pb, cfg);
+  EXPECT_GT(ncflow.n_clusters(), 1);
+  const auto& tm = s.trace.at(0);
+  auto a = ncflow.solve(s.pb, tm);
+  s.pb.validate_allocation(a);
+  // The merge step repairs to feasibility.
+  auto load = te::edge_loads(s.pb, tm, a);
+  auto caps = s.pb.capacities();
+  for (std::size_t e = 0; e < load.size(); ++e) EXPECT_LE(load[e], caps[e] * 1.0 + 1e-6);
+}
+
+TEST(NcFlow, LosesQualityVersusLpAll) {
+  // The decomposition tradeoff (§2.1): NCFlow should not beat LP-all offline.
+  auto s = make_setup("UsCarrier", 400);
+  baselines::NcFlowScheme ncflow(s.pb, {});
+  baselines::LpAllScheme lp_all;
+  const auto& tm = s.trace.at(0);
+  double f_nc = te::total_feasible_flow(s.pb, tm, ncflow.solve(s.pb, tm));
+  double f_all = te::total_feasible_flow(s.pb, tm, lp_all.solve(s.pb, tm));
+  EXPECT_LE(f_nc, f_all * 1.005);
+}
+
+TEST(Pop, DefaultReplicaCountsFollowPaper) {
+  EXPECT_EQ(baselines::default_pop_replicas(12), 1);     // B4
+  EXPECT_EQ(baselines::default_pop_replicas(110), 1);    // SWAN
+  EXPECT_EQ(baselines::default_pop_replicas(158), 4);    // UsCarrier
+  EXPECT_EQ(baselines::default_pop_replicas(754), 128);  // Kdl
+  EXPECT_EQ(baselines::default_pop_replicas(1739), 128); // ASN
+}
+
+TEST(Pop, FeasibleByConstructionWithReplicas) {
+  auto s = make_setup("UsCarrier", 500);
+  baselines::PopConfig cfg;
+  cfg.k = 4;
+  baselines::PopScheme pop(cfg);
+  const auto& tm = s.trace.at(0);
+  auto a = pop.solve(s.pb, tm);
+  s.pb.validate_allocation(a);
+  auto load = te::edge_loads(s.pb, tm, a);
+  auto caps = s.pb.capacities();
+  for (std::size_t e = 0; e < load.size(); ++e) {
+    EXPECT_LE(load[e], caps[e] + 1e-6) << "edge " << e;
+  }
+}
+
+TEST(Pop, KOneEqualsLpAll) {
+  auto s = make_setup("B4", 1 << 20);
+  baselines::PopConfig cfg;
+  cfg.k = 1;
+  baselines::PopScheme pop(cfg);
+  baselines::LpAllScheme lp_all;
+  const auto& tm = s.trace.at(0);
+  double f_pop = te::total_feasible_flow(s.pb, tm, pop.solve(s.pb, tm));
+  double f_all = te::total_feasible_flow(s.pb, tm, lp_all.solve(s.pb, tm));
+  EXPECT_NEAR(f_pop, f_all, 0.01 * f_all);
+}
+
+TEST(Pop, MoreReplicasLosePerformance) {
+  // The k-vs-quality tradeoff that motivates Teal (§2.1): large k hurts.
+  auto s = make_setup("UsCarrier", 400, 2.5);
+  const auto& tm = s.trace.at(0);
+  baselines::PopConfig c1;
+  c1.k = 1;
+  baselines::PopConfig c16;
+  c16.k = 16;
+  double f1 = te::total_feasible_flow(s.pb, tm, baselines::PopScheme(c1).solve(s.pb, tm));
+  double f16 = te::total_feasible_flow(s.pb, tm, baselines::PopScheme(c16).solve(s.pb, tm));
+  EXPECT_LE(f16, f1 * 1.01);
+}
+
+TEST(Teavar, SacrificesUtilizationForAvailability) {
+  auto s = make_setup("B4", 1 << 20, 2.0);
+  baselines::TeavarStarScheme teavar;
+  baselines::LpAllScheme lp_all;
+  const auto& tm = s.trace.at(0);
+  auto a_tv = teavar.solve(s.pb, tm);
+  s.pb.validate_allocation(a_tv);
+  double f_tv = te::total_feasible_flow(s.pb, tm, a_tv);
+  double f_all = te::total_feasible_flow(s.pb, tm, lp_all.solve(s.pb, tm));
+  // Figure 8: TEAVAR* trails the utilization-maximizing schemes.
+  EXPECT_LT(f_tv, f_all);
+  EXPECT_GT(f_tv, 0.5 * f_all);  // but it is not unreasonable
+}
+
+TEST(Teavar, PrefersShortReliablePaths) {
+  auto s = make_setup("B4", 1 << 20, 1.0);  // uncongested: weights decide
+  baselines::TeavarConfig cfg;
+  cfg.theta = 8.0;
+  baselines::TeavarStarScheme teavar(cfg);
+  const auto& tm = s.trace.at(0);
+  auto a = teavar.solve(s.pb, tm);
+  // Aggregate: volume-weighted average hop count of used paths should not
+  // exceed that of LP-all (which is indifferent to path length).
+  baselines::LpAllScheme lp_all;
+  auto a_lp = lp_all.solve(s.pb, tm);
+  auto mean_hops = [&](const te::Allocation& al) {
+    double num = 0.0, den = 0.0;
+    for (int p = 0; p < s.pb.total_paths(); ++p) {
+      double f = al.split[static_cast<std::size_t>(p)] *
+                 tm.volume[static_cast<std::size_t>(s.pb.demand_of_path(p))];
+      num += f * static_cast<double>(s.pb.path_edges(p).size());
+      den += f;
+    }
+    return den > 0.0 ? num / den : 0.0;
+  };
+  EXPECT_LE(mean_hops(a), mean_hops(a_lp) + 0.05);
+}
+
+}  // namespace
+}  // namespace teal

@@ -1,0 +1,203 @@
+// Tests for FlowGNN, the policy network, and the end-to-end TealModel —
+// including a full finite-difference gradient check through message passing,
+// DNN coordination layers, widening, and the policy head.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+
+#include "core/model.h"
+#include "topo/topology.h"
+#include "traffic/traffic.h"
+
+namespace teal {
+namespace {
+
+te::Problem tiny_problem() {
+  topo::Graph g("tiny");
+  g.add_nodes(4);
+  g.add_link(0, 1, 10, 1.0);
+  g.add_link(1, 3, 12, 1.0);
+  g.add_link(0, 2, 8, 1.2);
+  g.add_link(2, 3, 9, 1.1);
+  g.add_link(1, 2, 7, 0.9);
+  return te::Problem(std::move(g), {{0, 3}, {3, 0}, {1, 2}}, 4);
+}
+
+te::TrafficMatrix tiny_tm() {
+  te::TrafficMatrix tm;
+  tm.volume = {5.0, 3.0, 2.0};
+  return tm;
+}
+
+TEST(FlowGnn, ForwardShapes) {
+  auto pb = tiny_problem();
+  util::Rng rng(1);
+  core::FlowGnnConfig cfg;
+  cfg.n_blocks = 6;
+  core::FlowGnn gnn(cfg, 4, rng);
+  auto fwd = gnn.forward(pb, tiny_tm());
+  EXPECT_EQ(fwd.final_paths.rows(), pb.total_paths());
+  EXPECT_EQ(fwd.final_paths.cols(), 6);
+  EXPECT_EQ(static_cast<int>(fwd.blocks.size()), 6);
+  // Block l works at dim l+1.
+  for (int l = 0; l < 6; ++l) {
+    EXPECT_EQ(fwd.blocks[static_cast<std::size_t>(l)].path_in.cols(), l + 1);
+  }
+}
+
+TEST(FlowGnn, EmbeddingsDependOnDemandVolume) {
+  auto pb = tiny_problem();
+  util::Rng rng(1);
+  core::FlowGnn gnn({}, 4, rng);
+  auto tm1 = tiny_tm();
+  auto f1 = gnn.forward(pb, tm1);
+  auto tm2 = tiny_tm();
+  tm2.volume[0] *= 3.0;
+  auto f2 = gnn.forward(pb, tm2);
+  double diff = 0.0;
+  for (std::size_t i = 0; i < f1.final_paths.data().size(); ++i) {
+    diff += std::abs(f1.final_paths.data()[i] - f2.final_paths.data()[i]);
+  }
+  EXPECT_GT(diff, 1e-6);
+}
+
+TEST(FlowGnn, EmbeddingsDependOnCapacities) {
+  auto pb = tiny_problem();
+  util::Rng rng(1);
+  core::FlowGnn gnn({}, 4, rng);
+  auto caps = pb.capacities();
+  auto f1 = gnn.forward(pb, tiny_tm(), &caps);
+  caps[0] = 0.0;  // fail a link
+  auto f2 = gnn.forward(pb, tiny_tm(), &caps);
+  double diff = 0.0;
+  for (std::size_t i = 0; i < f1.final_paths.data().size(); ++i) {
+    diff += std::abs(f1.final_paths.data()[i] - f2.final_paths.data()[i]);
+  }
+  EXPECT_GT(diff, 1e-6);
+}
+
+TEST(TealModel, EndToEndGradCheck) {
+  // Full finite-difference check of d(loss)/d(theta) for a random linear
+  // loss on the logits, through policy net + FlowGNN.
+  auto pb = tiny_problem();
+  core::TealModelConfig cfg;
+  cfg.gnn.n_blocks = 3;  // smaller model keeps the check fast
+  cfg.policy.hidden_dim = 8;
+  core::TealModel model(cfg, pb.k_paths(), 7);
+  auto tm = tiny_tm();
+
+  util::Rng rng(3);
+  nn::Mat coef(pb.num_demands(), pb.k_paths());
+  for (auto& v : coef.data()) v = rng.normal();
+
+  auto eval = [&] {
+    auto fwd = model.forward(pb, tm);
+    double s = 0.0;
+    for (std::size_t i = 0; i < fwd.logits.data().size(); ++i) {
+      s += fwd.logits.data()[i] * coef.data()[i];
+    }
+    return s;
+  };
+
+  auto fwd = model.forward(pb, tm);
+  for (auto* p : model.params()) p->zero_grad();
+  model.backward(pb, fwd, coef);
+
+  const double eps = 1e-6;
+  int checked = 0;
+  for (auto* p : model.params()) {
+    // Spot-check a handful of entries per parameter to keep runtime sane.
+    for (std::size_t i = 0; i < p->w.data().size(); i += std::max<std::size_t>(1, p->w.data().size() / 4)) {
+      double orig = p->w.data()[i];
+      p->w.data()[i] = orig + eps;
+      double up = eval();
+      p->w.data()[i] = orig - eps;
+      double down = eval();
+      p->w.data()[i] = orig;
+      double numeric = (up - down) / (2 * eps);
+      EXPECT_NEAR(p->g.data()[i], numeric, 1e-4 * std::max(1.0, std::abs(numeric)));
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 20);
+}
+
+TEST(TealModel, MaskZeroesMissingPaths) {
+  // A demand pair with fewer than 4 simple paths must get zero splits there.
+  topo::Graph g("line");
+  g.add_nodes(3);
+  g.add_link(0, 1, 10, 1.0);
+  g.add_link(1, 2, 10, 1.0);
+  te::Problem pb(std::move(g), {{0, 2}}, 4);
+  ASSERT_EQ(pb.num_paths(0), 1);  // only one simple path exists
+  core::TealModel model({}, pb.k_paths(), 5);
+  te::TrafficMatrix tm;
+  tm.volume = {1.0};
+  auto fwd = model.forward(pb, tm);
+  auto splits = core::splits_from_logits(fwd.logits, fwd.mask);
+  EXPECT_NEAR(splits.at(0, 0), 1.0, 1e-12);
+  for (int c = 1; c < 4; ++c) EXPECT_DOUBLE_EQ(splits.at(0, c), 0.0);
+}
+
+TEST(TealModel, SplitsFormValidAllocation) {
+  auto pb = tiny_problem();
+  core::TealModel model({}, pb.k_paths(), 11);
+  auto fwd = model.forward(pb, tiny_tm());
+  auto splits = core::splits_from_logits(fwd.logits, fwd.mask);
+  auto alloc = core::allocation_from_splits(pb, splits);
+  EXPECT_NO_THROW(pb.validate_allocation(alloc));
+  // Softmax routes everything: per-demand sums are exactly 1.
+  for (int d = 0; d < pb.num_demands(); ++d) {
+    double sum = 0.0;
+    for (int p = pb.path_begin(d); p < pb.path_end(d); ++p) {
+      sum += alloc.split[static_cast<std::size_t>(p)];
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(TealModel, SaveLoadPreservesOutputs) {
+  auto pb = tiny_problem();
+  core::TealModel a({}, pb.k_paths(), 21);
+  auto path = (std::filesystem::temp_directory_path() / "teal_model_test.bin").string();
+  a.save(path);
+  core::TealModel b({}, pb.k_paths(), 99);  // different init
+  ASSERT_TRUE(b.load(path));
+  auto fa = a.forward(pb, tiny_tm());
+  auto fb = b.forward(pb, tiny_tm());
+  for (std::size_t i = 0; i < fa.logits.data().size(); ++i) {
+    EXPECT_DOUBLE_EQ(fa.logits.data()[i], fb.logits.data()[i]);
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(PolicyNet, LayerCountConfigurable) {
+  util::Rng rng(31);
+  for (int layers : {1, 2, 4}) {
+    core::PolicyConfig pc;
+    pc.n_hidden_layers = layers;
+    core::PolicyNet net(pc, 24, 4, rng);
+    nn::Mat x(5, 24, 0.1);
+    auto fwd = net.forward(x);
+    EXPECT_EQ(fwd.logits.rows(), 5);
+    EXPECT_EQ(fwd.logits.cols(), 4);
+  }
+}
+
+TEST(FlowGnn, ComputationIndependentOfTrafficValues) {
+  // §5.2: Teal's flop count does not depend on the traffic matrix values —
+  // identical shapes in, identical shapes out, no data-dependent branching.
+  auto pb = tiny_problem();
+  util::Rng rng(1);
+  core::FlowGnn gnn({}, 4, rng);
+  auto tm_small = tiny_tm();
+  auto tm_large = tiny_tm();
+  for (auto& v : tm_large.volume) v *= 1000.0;
+  auto f1 = gnn.forward(pb, tm_small);
+  auto f2 = gnn.forward(pb, tm_large);
+  EXPECT_TRUE(f1.final_paths.same_shape(f2.final_paths));
+}
+
+}  // namespace
+}  // namespace teal

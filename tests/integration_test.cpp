@@ -1,0 +1,181 @@
+// Cross-module integration tests: the full pipeline end to end, online
+// replay consistency, validation-based model selection, and capacity
+// calibration to a satisfied-demand target.
+#include <gtest/gtest.h>
+
+#include "baselines/lp_schemes.h"
+#include "baselines/ncflow.h"
+#include "baselines/pop.h"
+#include "core/coma.h"
+#include "core/teal_scheme.h"
+#include "sim/online.h"
+#include "topo/topology.h"
+#include "traffic/traffic.h"
+
+namespace teal {
+namespace {
+
+struct Setup {
+  te::Problem pb;
+  traffic::TraceSplit split;
+};
+
+Setup swan_setup(int n_demands = 600, int intervals = 30) {
+  auto g = topo::make_swan_like();
+  te::Problem pb(g, traffic::sample_demands(g, n_demands, 5), 4);
+  traffic::TraceConfig cfg;
+  cfg.n_intervals = intervals;
+  auto trace = traffic::generate_trace(pb, cfg);
+  traffic::calibrate_capacities_to_satisfied(pb, trace, 72.0);
+  return Setup{std::move(pb), traffic::split_trace(trace)};
+}
+
+TEST(Calibration, HitsSatisfiedTarget) {
+  auto s = swan_setup();
+  // Recompute the mean-matrix SP satisfied demand; should be ~72%.
+  te::TrafficMatrix mean_tm;
+  const auto& all = s.split.train;
+  mean_tm.volume.assign(all.at(0).volume.size(), 0.0);
+  int total_n = 0;
+  for (const auto& tr : {&s.split.train, &s.split.val, &s.split.test}) {
+    for (const auto& tm : tr->matrices) {
+      for (std::size_t d = 0; d < mean_tm.volume.size(); ++d) mean_tm.volume[d] += tm.volume[d];
+      ++total_n;
+    }
+  }
+  for (double& v : mean_tm.volume) v /= total_n;
+  double sp = te::satisfied_demand_pct(s.pb, mean_tm, s.pb.shortest_path_allocation());
+  EXPECT_NEAR(sp, 72.0, 1.0);
+}
+
+TEST(Calibration, RejectsBadArgs) {
+  auto s = swan_setup(100, 5);
+  traffic::Trace empty;
+  EXPECT_THROW(traffic::calibrate_capacities_to_satisfied(s.pb, empty, 72.0),
+               std::invalid_argument);
+  EXPECT_THROW(traffic::calibrate_capacities_to_satisfied(s.pb, s.split.train, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(traffic::calibrate_capacities_to_satisfied(s.pb, s.split.train, 150.0),
+               std::invalid_argument);
+}
+
+TEST(ReplayOnline, MatchesLiveRunForDeterministicScheme) {
+  auto s = swan_setup(300, 20);
+  baselines::LpTopScheme scheme;
+  // Live run.
+  sim::OnlineConfig cfg;
+  cfg.time_scale = 100.0;  // force some staleness
+  // Record per-matrix allocs/times first (deterministic scheme).
+  std::vector<te::Allocation> allocs;
+  std::vector<double> secs;
+  for (int t = 0; t < s.split.test.size(); ++t) {
+    allocs.push_back(scheme.solve(s.pb, s.split.test.at(t)));
+    secs.push_back(0.05);  // fixed fake time for determinism
+  }
+  auto replay = sim::replay_online(s.pb, s.split.test, allocs, secs, cfg);
+  // Replaying the same series twice is identical.
+  auto replay2 = sim::replay_online(s.pb, s.split.test, allocs, secs, cfg);
+  ASSERT_EQ(replay.intervals.size(), replay2.intervals.size());
+  for (std::size_t i = 0; i < replay.intervals.size(); ++i) {
+    EXPECT_DOUBLE_EQ(replay.intervals[i].satisfied_pct, replay2.intervals[i].satisfied_pct);
+  }
+  // Short series rejected.
+  EXPECT_THROW(sim::replay_online(s.pb, s.split.test, {}, {}, cfg), std::invalid_argument);
+}
+
+TEST(ComaValidation, KeepsBestEpochSnapshot) {
+  auto s = swan_setup(300, 20);
+  core::TealModel model({}, s.pb.k_paths(), 3);
+  core::ComaConfig cfg;
+  cfg.epochs = 5;
+  cfg.lr = 5e-3;  // deliberately jumpy so epochs differ
+  cfg.validation = &s.split.val;
+  auto stats = core::train_coma(model, s.pb, s.split.train, te::Objective::kTotalFlow, cfg);
+  ASSERT_EQ(stats.epoch_validation.size(), 5u);
+  ASSERT_GE(stats.best_epoch, 0);
+  // The restored model scores the best epoch's validation value.
+  double restored = core::evaluate_model(model, s.pb, s.split.val,
+                                         te::Objective::kTotalFlow);
+  double best = *std::max_element(stats.epoch_validation.begin(),
+                                  stats.epoch_validation.end());
+  EXPECT_NEAR(restored, best, 1e-9);
+}
+
+TEST(EndToEnd, AllSchemesProduceComparableValidAllocations) {
+  auto s = swan_setup(500, 25);
+  std::vector<te::SchemePtr> schemes;
+  schemes.push_back(std::make_unique<baselines::LpAllScheme>());
+  schemes.push_back(std::make_unique<baselines::LpTopScheme>());
+  schemes.push_back(std::make_unique<baselines::NcFlowScheme>(s.pb));
+  {
+    baselines::PopConfig pc;
+    pc.k = 4;
+    schemes.push_back(std::make_unique<baselines::PopScheme>(pc));
+  }
+  {
+    core::TealSchemeConfig cfg;
+    core::TealTrainOptions opts;
+    opts.coma.epochs = 3;
+    opts.coma.lr = 3e-3;
+    opts.coma.validation = &s.split.val;
+    schemes.push_back(core::make_teal_scheme(s.pb, s.split.train, cfg, opts));
+  }
+  const auto& tm = s.split.test.at(0);
+  double sp = te::satisfied_demand_pct(s.pb, tm, s.pb.shortest_path_allocation());
+  double lp_pct = 0.0;
+  for (auto& scheme : schemes) {
+    auto a = scheme->solve(s.pb, tm);
+    EXPECT_NO_THROW(s.pb.validate_allocation(a, 1e-6)) << scheme->name();
+    double pct = te::satisfied_demand_pct(s.pb, tm, a);
+    if (scheme->name() == "LP-all") lp_pct = pct;
+    EXPECT_GT(pct, 0.3 * sp) << scheme->name();
+    EXPECT_LE(pct, 100.0 + 1e-9) << scheme->name();
+    EXPECT_GT(scheme->last_solve_seconds(), 0.0) << scheme->name();
+  }
+  // LP-all dominates (or matches) every other scheme offline.
+  for (auto& scheme : schemes) {
+    auto a = scheme->solve(s.pb, tm);
+    EXPECT_LE(te::satisfied_demand_pct(s.pb, tm, a), lp_pct + 1.0) << scheme->name();
+  }
+}
+
+TEST(EndToEnd, TealTimeIsValueIndependent) {
+  // §5.2: Teal's flop count does not depend on traffic values. Compare solve
+  // times for a tiny and a 1000x-scaled matrix; they should be within noise.
+  auto s = swan_setup(400, 12);
+  core::TealSchemeConfig cfg;
+  core::TealTrainOptions opts;
+  opts.trainer = core::Trainer::kDirectLoss;
+  opts.direct.epochs = 1;
+  auto scheme = core::make_teal_scheme(s.pb, s.split.train, cfg, opts);
+  auto tm_small = s.split.test.at(0);
+  auto tm_large = tm_small;
+  for (double& v : tm_large.volume) v *= 1000.0;
+  // Warm up, then measure several rounds.
+  scheme->solve(s.pb, tm_small);
+  double t_small = 1e9, t_large = 1e9;
+  for (int i = 0; i < 5; ++i) {
+    scheme->solve(s.pb, tm_small);
+    t_small = std::min(t_small, scheme->last_solve_seconds());
+    scheme->solve(s.pb, tm_large);
+    t_large = std::min(t_large, scheme->last_solve_seconds());
+  }
+  EXPECT_LT(std::abs(t_small - t_large), 0.5 * std::max(t_small, t_large) + 0.01);
+}
+
+TEST(EndToEnd, FailureRecomputationWithoutRetraining) {
+  auto s = swan_setup(400, 12);
+  core::TealSchemeConfig cfg;
+  core::TealTrainOptions opts;
+  opts.trainer = core::Trainer::kDirectLoss;
+  opts.direct.epochs = 2;
+  auto scheme = core::make_teal_scheme(s.pb, s.split.train, cfg, opts);
+  auto failed = sim::sample_link_failures(s.pb.graph(), 5, 3);
+  auto res = sim::eval_failure_reaction(*scheme, s.pb, s.split.test.at(0), failed, {});
+  // Recomputed routes on the failed topology should not be worse than stale
+  // ones (the model sees the zeroed capacities through FlowGNN's inputs).
+  EXPECT_GE(res.recomputed_pct, res.stale_pct - 3.0);
+}
+
+}  // namespace
+}  // namespace teal

@@ -1,0 +1,222 @@
+// Unit tests for the NN substrate, including finite-difference gradient
+// checks of every layer primitive.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+
+#include "nn/mat.h"
+#include "nn/module.h"
+#include "util/rng.h"
+
+namespace teal {
+namespace {
+
+// Finite-difference gradient check helper: perturbs each entry of `param`,
+// evaluates the scalar loss via `eval`, and compares to `analytic`.
+template <typename Eval>
+void check_grad(std::vector<double>& param, const std::vector<double>& analytic,
+                Eval eval, double eps = 1e-6, double tol = 1e-5) {
+  ASSERT_EQ(param.size(), analytic.size());
+  for (std::size_t i = 0; i < param.size(); ++i) {
+    double orig = param[i];
+    param[i] = orig + eps;
+    double up = eval();
+    param[i] = orig - eps;
+    double down = eval();
+    param[i] = orig;
+    double numeric = (up - down) / (2 * eps);
+    EXPECT_NEAR(analytic[i], numeric, tol * std::max(1.0, std::abs(numeric)))
+        << "param index " << i;
+  }
+}
+
+TEST(Mat, ShapeAndAccess) {
+  nn::Mat m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 3);
+  m.at(1, 2) = 7.0;
+  EXPECT_DOUBLE_EQ(m.at(1, 2), 7.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 1.5);
+  m.zero();
+  EXPECT_DOUBLE_EQ(m.at(1, 2), 0.0);
+}
+
+TEST(Mat, LinearForwardKnownValues) {
+  nn::Mat x(1, 2);
+  x.at(0, 0) = 1.0;
+  x.at(0, 1) = 2.0;
+  nn::Mat w(1, 2);  // one output
+  w.at(0, 0) = 3.0;
+  w.at(0, 1) = 4.0;
+  nn::Mat y;
+  nn::linear_forward(x, w, {0.5}, y);
+  EXPECT_DOUBLE_EQ(y.at(0, 0), 11.5);
+}
+
+TEST(Mat, LinearGradCheck) {
+  util::Rng rng(3);
+  const int n = 3, in = 4, out = 2;
+  nn::Mat x(n, in), w(out, in);
+  std::vector<double> b(out);
+  for (auto& v : x.data()) v = rng.normal();
+  for (auto& v : w.data()) v = rng.normal();
+  for (auto& v : b) v = rng.normal();
+  // Loss = sum of y entries weighted by fixed random coefficients.
+  nn::Mat coef(n, out);
+  for (auto& v : coef.data()) v = rng.normal();
+
+  auto eval = [&] {
+    nn::Mat y;
+    nn::linear_forward(x, w, b, y);
+    double s = 0;
+    for (std::size_t i = 0; i < y.data().size(); ++i) s += y.data()[i] * coef.data()[i];
+    return s;
+  };
+  nn::Mat gx, gw(out, in);
+  std::vector<double> gb(out, 0.0);
+  nn::linear_backward(x, w, coef, gx, gw, gb);
+  check_grad(w.data(), gw.data(), eval);
+  check_grad(x.data(), gx.data(), eval);
+  check_grad(b, gb, eval);
+}
+
+TEST(Mat, LeakyReluGradCheck) {
+  util::Rng rng(5);
+  nn::Mat x(2, 5);
+  for (auto& v : x.data()) v = rng.normal();
+  nn::Mat coef(2, 5);
+  for (auto& v : coef.data()) v = rng.normal();
+  auto eval = [&] {
+    nn::Mat y;
+    nn::leaky_relu_forward(x, y, 0.01);
+    double s = 0;
+    for (std::size_t i = 0; i < y.data().size(); ++i) s += y.data()[i] * coef.data()[i];
+    return s;
+  };
+  nn::Mat gx;
+  nn::leaky_relu_backward(x, coef, gx, 0.01);
+  check_grad(x.data(), gx.data(), eval);
+}
+
+TEST(Mat, SoftmaxRowsSumToOneAndMask) {
+  nn::Mat logits(2, 3);
+  logits.at(0, 0) = 1.0;
+  logits.at(0, 1) = 2.0;
+  logits.at(0, 2) = 3.0;
+  logits.at(1, 0) = 0.0;
+  logits.at(1, 1) = 5.0;
+  logits.at(1, 2) = -1.0;
+  nn::Mat mask(2, 3, 1.0);
+  mask.at(1, 1) = 0.0;  // mask out the largest logit in row 1
+  nn::Mat probs;
+  nn::softmax_rows(logits, mask, probs);
+  EXPECT_NEAR(probs.at(0, 0) + probs.at(0, 1) + probs.at(0, 2), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(probs.at(1, 1), 0.0);
+  EXPECT_NEAR(probs.at(1, 0) + probs.at(1, 2), 1.0, 1e-12);
+  EXPECT_GT(probs.at(0, 2), probs.at(0, 0));
+}
+
+TEST(Mat, SoftmaxGradCheck) {
+  util::Rng rng(7);
+  nn::Mat logits(3, 4);
+  for (auto& v : logits.data()) v = rng.normal();
+  nn::Mat coef(3, 4);
+  for (auto& v : coef.data()) v = rng.normal();
+  nn::Mat empty_mask;
+  auto eval = [&] {
+    nn::Mat p;
+    nn::softmax_rows(logits, empty_mask, p);
+    double s = 0;
+    for (std::size_t i = 0; i < p.data().size(); ++i) s += p.data()[i] * coef.data()[i];
+    return s;
+  };
+  nn::Mat p, gx;
+  nn::softmax_rows(logits, empty_mask, p);
+  nn::softmax_rows_backward(p, coef, gx);
+  check_grad(logits.data(), gx.data(), eval);
+}
+
+TEST(Linear, ModuleGradCheck) {
+  util::Rng rng(9);
+  nn::Linear lin(3, 2, rng);
+  nn::Mat x(4, 3);
+  for (auto& v : x.data()) v = rng.normal();
+  nn::Mat coef(4, 2);
+  for (auto& v : coef.data()) v = rng.normal();
+  auto eval = [&] {
+    nn::Mat y;
+    lin.forward(x, y);
+    double s = 0;
+    for (std::size_t i = 0; i < y.data().size(); ++i) s += y.data()[i] * coef.data()[i];
+    return s;
+  };
+  for (auto* p : lin.params()) p->zero_grad();
+  nn::Mat gx;
+  lin.backward(x, coef, gx);
+  auto params = lin.params();
+  check_grad(params[0]->w.data(), params[0]->g.data(), eval);
+  check_grad(params[1]->w.data(), params[1]->g.data(), eval);
+  check_grad(x.data(), gx.data(), eval);
+}
+
+TEST(Adam, MinimizesQuadratic) {
+  // One 1x1 parameter; loss (w - 3)^2. Adam should reach w ~ 3.
+  nn::Param w(1, 1);
+  w.w.at(0, 0) = -5.0;
+  nn::Adam adam({&w}, 0.1);
+  for (int i = 0; i < 500; ++i) {
+    adam.zero_grad();
+    w.g.at(0, 0) = 2.0 * (w.w.at(0, 0) - 3.0);
+    adam.step();
+  }
+  EXPECT_NEAR(w.w.at(0, 0), 3.0, 0.05);
+}
+
+TEST(Adam, GradClipBoundsNorm) {
+  nn::Param w(1, 2);
+  w.g.at(0, 0) = 30.0;
+  w.g.at(0, 1) = 40.0;  // norm 50
+  nn::Adam adam({&w}, 0.1);
+  adam.clip_grad_norm(5.0);
+  double norm = std::hypot(w.g.at(0, 0), w.g.at(0, 1));
+  EXPECT_NEAR(norm, 5.0, 1e-9);
+}
+
+TEST(Params, SaveLoadRoundTrip) {
+  util::Rng rng(11);
+  nn::Param a(2, 3), b(1, 4);
+  for (auto& v : a.w.data()) v = rng.normal();
+  for (auto& v : b.w.data()) v = rng.normal();
+  auto path = (std::filesystem::temp_directory_path() / "teal_params_test.bin").string();
+  nn::save_params(path, {&a, &b});
+
+  nn::Param a2(2, 3), b2(1, 4);
+  ASSERT_TRUE(nn::load_params(path, {&a2, &b2}));
+  for (std::size_t i = 0; i < a.w.data().size(); ++i) {
+    EXPECT_DOUBLE_EQ(a2.w.data()[i], a.w.data()[i]);
+  }
+  // Shape mismatch is rejected.
+  nn::Param wrong(3, 2);
+  EXPECT_FALSE(nn::load_params(path, {&wrong, &b2}));
+  std::filesystem::remove(path);
+}
+
+TEST(Params, LoadMissingFileFails) {
+  nn::Param a(1, 1);
+  EXPECT_FALSE(nn::load_params("/nonexistent/teal.bin", {&a}));
+}
+
+TEST(Xavier, BoundsScaleWithFanInOut) {
+  util::Rng rng(13);
+  nn::Mat w(100, 100);
+  nn::xavier_init(w, rng);
+  double bound = std::sqrt(6.0 / 200.0);
+  for (double v : w.data()) {
+    EXPECT_GE(v, -bound - 1e-12);
+    EXPECT_LE(v, bound + 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace teal

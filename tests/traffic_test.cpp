@@ -1,0 +1,180 @@
+// Unit tests for the traffic substrate: demand sampling, trace generation
+// (heavy-tail calibration per §5.1), §5.4 perturbations, capacity calibration.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "te/objective.h"
+#include "topo/topology.h"
+#include "traffic/traffic.h"
+
+namespace teal {
+namespace {
+
+te::Problem small_problem() {
+  return te::Problem(topo::make_b4(), te::all_pairs_demands(topo::make_b4()), 4);
+}
+
+TEST(SampleDemands, ReturnsAllPairsWhenAsked) {
+  auto g = topo::make_b4();
+  auto d = traffic::sample_demands(g, 1000000, 1);
+  EXPECT_EQ(d.size(), 12u * 11u);
+}
+
+TEST(SampleDemands, DistinctPairsAndCount) {
+  auto g = topo::make_swan_like(1);
+  auto d = traffic::sample_demands(g, 500, 2);
+  EXPECT_EQ(d.size(), 500u);
+  std::set<std::pair<int, int>> pairs;
+  for (const auto& dem : d) {
+    EXPECT_NE(dem.src, dem.dst);
+    pairs.insert({dem.src, dem.dst});
+  }
+  EXPECT_EQ(pairs.size(), 500u);
+}
+
+TEST(Trace, ShapeAndPositivity) {
+  auto pb = small_problem();
+  traffic::TraceConfig cfg;
+  cfg.n_intervals = 50;
+  auto trace = traffic::generate_trace(pb, cfg);
+  ASSERT_EQ(trace.size(), 50);
+  for (const auto& tm : trace.matrices) {
+    ASSERT_EQ(static_cast<int>(tm.volume.size()), pb.num_demands());
+    for (double v : tm.volume) EXPECT_GE(v, 0.0);
+    EXPECT_GT(tm.total(), 0.0);
+  }
+}
+
+TEST(Trace, Deterministic) {
+  auto pb = small_problem();
+  traffic::TraceConfig cfg;
+  cfg.n_intervals = 10;
+  auto a = traffic::generate_trace(pb, cfg);
+  auto b = traffic::generate_trace(pb, cfg);
+  for (int t = 0; t < 10; ++t) {
+    for (std::size_t d = 0; d < a.at(t).volume.size(); ++d) {
+      EXPECT_DOUBLE_EQ(a.at(t).volume[d], b.at(t).volume[d]);
+    }
+  }
+}
+
+TEST(Trace, HeavyTailCalibration) {
+  // §5.1: top 10% of demands carry ~88.4% of volume. Our lognormal sigma is
+  // calibrated for that in expectation; allow sampling slack.
+  auto g = topo::make_swan_like(1);
+  te::Problem pb(g, traffic::sample_demands(g, 2000, 3), 4);
+  traffic::TraceConfig cfg;
+  cfg.n_intervals = 20;
+  auto trace = traffic::generate_trace(pb, cfg);
+  double share = traffic::top_share(trace, 0.10);
+  EXPECT_GT(share, 0.78);
+  EXPECT_LT(share, 0.97);
+}
+
+TEST(TraceSplit, Proportions) {
+  auto pb = small_problem();
+  traffic::TraceConfig cfg;
+  cfg.n_intervals = 100;
+  auto trace = traffic::generate_trace(pb, cfg);
+  auto split = traffic::split_trace(trace);
+  EXPECT_EQ(split.train.size(), 70);
+  EXPECT_EQ(split.val.size(), 10);
+  EXPECT_EQ(split.test.size(), 20);
+  // Consecutive and disjoint.
+  EXPECT_DOUBLE_EQ(split.train.at(0).volume[0], trace.at(0).volume[0]);
+  EXPECT_DOUBLE_EQ(split.test.at(0).volume[0], trace.at(80).volume[0]);
+}
+
+TEST(PerturbTemporal, IncreasesVariance) {
+  auto pb = small_problem();
+  traffic::TraceConfig cfg;
+  cfg.n_intervals = 60;
+  auto trace = traffic::generate_trace(pb, cfg);
+  auto shaken = traffic::perturb_temporal(trace, 10.0, 99);
+  ASSERT_EQ(shaken.size(), trace.size());
+  // Compare variance of consecutive deltas for the first demand.
+  auto delta_var = [](const traffic::Trace& tr, std::size_t d) {
+    std::vector<double> deltas;
+    for (int t = 1; t < tr.size(); ++t) {
+      deltas.push_back(tr.at(t).volume[d] - tr.at(t - 1).volume[d]);
+    }
+    double m = 0;
+    for (double x : deltas) m += x;
+    m /= static_cast<double>(deltas.size());
+    double v = 0;
+    for (double x : deltas) v += (x - m) * (x - m);
+    return v / static_cast<double>(deltas.size());
+  };
+  // Aggregate over demands to avoid flakiness.
+  double base = 0, pert = 0;
+  for (std::size_t d = 0; d < 30; ++d) {
+    base += delta_var(trace, d);
+    pert += delta_var(shaken, d);
+  }
+  EXPECT_GT(pert, 2.0 * base);
+  for (const auto& tm : shaken.matrices) {
+    for (double v : tm.volume) EXPECT_GE(v, 0.0);
+  }
+}
+
+TEST(PerturbTemporal, FactorZeroKeepsNonNegativeAndClose) {
+  auto pb = small_problem();
+  traffic::TraceConfig cfg;
+  cfg.n_intervals = 10;
+  auto trace = traffic::generate_trace(pb, cfg);
+  auto same = traffic::perturb_temporal(trace, 0.0, 5);
+  for (int t = 0; t < 10; ++t) {
+    for (std::size_t d = 0; d < same.at(t).volume.size(); ++d) {
+      EXPECT_DOUBLE_EQ(same.at(t).volume[d], trace.at(t).volume[d]);
+    }
+  }
+}
+
+TEST(PerturbSpatial, HitsTargetShareAndPreservesTotal) {
+  auto g = topo::make_swan_like(1);
+  te::Problem pb(g, traffic::sample_demands(g, 1000, 3), 4);
+  traffic::TraceConfig cfg;
+  cfg.n_intervals = 12;
+  auto trace = traffic::generate_trace(pb, cfg);
+  auto original_top = traffic::top_demand_indices(trace, 0.10);
+  for (double target : {0.8, 0.6, 0.4, 0.2}) {
+    auto redist = traffic::perturb_spatial(trace, target);
+    // §5.4 re-targets the share of the *original* top-10% set.
+    EXPECT_NEAR(traffic::share_of(redist, original_top), target, 0.02);
+    for (int t = 0; t < trace.size(); ++t) {
+      EXPECT_NEAR(redist.at(t).total(), trace.at(t).total(),
+                  1e-6 * trace.at(t).total());
+    }
+  }
+}
+
+TEST(PerturbSpatial, RejectsBadTarget) {
+  auto pb = small_problem();
+  traffic::TraceConfig cfg;
+  cfg.n_intervals = 5;
+  auto trace = traffic::generate_trace(pb, cfg);
+  EXPECT_THROW(traffic::perturb_spatial(trace, 0.0), std::invalid_argument);
+  EXPECT_THROW(traffic::perturb_spatial(trace, 1.0), std::invalid_argument);
+}
+
+TEST(CalibrateCapacities, SetsShortestPathPeakUtil) {
+  auto pb = small_problem();
+  traffic::TraceConfig cfg;
+  cfg.n_intervals = 10;
+  auto trace = traffic::generate_trace(pb, cfg);
+  traffic::calibrate_capacities(pb, trace, 1.5);
+
+  te::TrafficMatrix mean_tm;
+  mean_tm.volume.assign(trace.at(0).volume.size(), 0.0);
+  for (const auto& tm : trace.matrices) {
+    for (std::size_t d = 0; d < mean_tm.volume.size(); ++d) {
+      mean_tm.volume[d] += tm.volume[d] / trace.size();
+    }
+  }
+  double mlu = te::max_link_utilization(pb, mean_tm, pb.shortest_path_allocation());
+  EXPECT_NEAR(mlu, 1.5, 1e-6);
+}
+
+}  // namespace
+}  // namespace teal

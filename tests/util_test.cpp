@@ -1,0 +1,168 @@
+// Unit tests for the util substrate: thread pool, RNG, statistics, tables.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <set>
+
+#include "util/csv.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace teal {
+namespace {
+
+TEST(ThreadPool, RunsAllIndices) {
+  util::ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(1000, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ChunksCoverRangeExactlyOnce) {
+  util::ThreadPool pool(7);
+  std::atomic<std::int64_t> sum{0};
+  pool.parallel_chunks(12345, [&](std::size_t b, std::size_t e) {
+    std::int64_t local = 0;
+    for (std::size_t i = b; i < e; ++i) local += static_cast<std::int64_t>(i);
+    sum += local;
+  });
+  EXPECT_EQ(sum.load(), 12345LL * 12344 / 2);
+}
+
+TEST(ThreadPool, SubmitReturnsValue) {
+  util::ThreadPool pool(2);
+  auto fut = pool.submit([] { return 41 + 1; });
+  EXPECT_EQ(fut.get(), 42);
+}
+
+TEST(ThreadPool, ZeroAndOneElementRanges) {
+  util::ThreadPool pool(3);
+  int count = 0;
+  pool.parallel_for(0, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count, 0);
+  pool.parallel_for(1, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count, 1);
+}
+
+TEST(Rng, Deterministic) {
+  util::Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, ForkDecorrelates) {
+  util::Rng root(7);
+  util::Rng a = root.fork(1);
+  util::Rng b = root.fork(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform() == b.uniform()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, UniformIntBounds) {
+  util::Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    auto v = rng.uniform_int(-2, 5);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Rng, CategoricalRespectsWeights) {
+  util::Rng rng(9);
+  std::vector<double> w = {0.0, 10.0, 0.0};
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.categorical(w), 1u);
+}
+
+TEST(Rng, CategoricalEmptyThrows) {
+  util::Rng rng(9);
+  EXPECT_THROW(rng.categorical({}), std::invalid_argument);
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct) {
+  util::Rng rng(11);
+  auto s = rng.sample_without_replacement(50, 20);
+  std::set<std::size_t> set(s.begin(), s.end());
+  EXPECT_EQ(set.size(), 20u);
+  for (auto v : s) EXPECT_LT(v, 50u);
+}
+
+TEST(Rng, NormalMoments) {
+  util::Rng rng(13);
+  std::vector<double> xs(20000);
+  for (auto& x : xs) x = rng.normal(2.0, 3.0);
+  EXPECT_NEAR(util::mean(xs), 2.0, 0.1);
+  EXPECT_NEAR(util::stddev(xs), 3.0, 0.1);
+}
+
+TEST(Stats, PercentileInterpolation) {
+  std::vector<double> xs = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(util::percentile(xs, 0), 1.0);
+  EXPECT_DOUBLE_EQ(util::percentile(xs, 100), 5.0);
+  EXPECT_DOUBLE_EQ(util::percentile(xs, 50), 3.0);
+  EXPECT_DOUBLE_EQ(util::percentile(xs, 25), 2.0);
+}
+
+TEST(Stats, CdfMonotone) {
+  auto cdf = util::make_cdf({3.0, 1.0, 2.0, 2.0});
+  ASSERT_EQ(cdf.values.size(), 4u);
+  EXPECT_TRUE(std::is_sorted(cdf.values.begin(), cdf.values.end()));
+  EXPECT_DOUBLE_EQ(cdf.probs.back(), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.prob_at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.prob_at(2.0), 0.75);
+  EXPECT_DOUBLE_EQ(cdf.prob_at(10.0), 1.0);
+}
+
+TEST(Stats, EmptyThrows) {
+  EXPECT_THROW(util::mean({}), std::invalid_argument);
+  EXPECT_THROW(util::percentile({}, 50), std::invalid_argument);
+}
+
+TEST(Table, RendersAndWritesCsv) {
+  util::Table t({"scheme", "time"});
+  t.add_row({"Teal", "0.97"});
+  t.add_row({"LP-all", "585"});
+  std::string s = t.to_string();
+  EXPECT_NE(s.find("Teal"), std::string::npos);
+  EXPECT_NE(s.find("585"), std::string::npos);
+
+  auto path = std::filesystem::temp_directory_path() / "teal_table_test.csv";
+  t.write_csv(path.string());
+  std::ifstream f(path);
+  std::string line;
+  std::getline(f, line);
+  EXPECT_EQ(line, "scheme,time");
+  std::filesystem::remove(path);
+}
+
+TEST(Table, RowSizeMismatchThrows) {
+  util::Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Timer, MeasuresElapsed) {
+  util::Timer t;
+  volatile double x = 0;
+  for (int i = 0; i < 100000; ++i) x = x + 1.0;
+  EXPECT_GE(t.seconds(), 0.0);
+}
+
+TEST(StopWatch, Accumulates) {
+  util::StopWatch sw;
+  sw.start();
+  sw.stop();
+  sw.start();
+  sw.stop();
+  EXPECT_GE(sw.total_seconds(), 0.0);
+  sw.clear();
+  EXPECT_EQ(sw.total_seconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace teal
