@@ -64,11 +64,17 @@ std::unique_ptr<core::TealScheme> make_teal(Instance& inst,
 std::unique_ptr<te::Scheme> make_baseline(const std::string& name, Instance& inst,
                                           te::Objective obj = te::Objective::kTotalFlow);
 
-// Runs `scheme` offline over a trace: per-matrix satisfied demand (or other
-// objective score) and raw solve seconds.
+// Runs `scheme` offline over a trace through the *sequential* batched loop
+// (te::solve_batch_sequential), after an untimed warmup for warm-state
+// schemes: per-matrix satisfied demand, standalone per-solve seconds
+// directly comparable across schemes and to the paper's computation-time
+// axis, and the allocations themselves. Benches that want Teal's parallel
+// amortization instead (and median-anchor the times, see te/scheme.h) call
+// solve_batch() directly, as fig18 does.
 struct OfflineSeries {
   std::vector<double> satisfied_pct;
   std::vector<double> solve_seconds;
+  std::vector<te::Allocation> allocs;
   double mean_satisfied() const;
   double mean_seconds() const;
 };
@@ -89,6 +95,10 @@ double paper_seconds(const std::string& scheme, const std::string& topo);
 
 // time_scale for sim::OnlineConfig: maps this scheme's measured median onto
 // the paper's full-scale time (identity when the paper gives no number).
+// Median anchoring also neutralizes the uniform per-solve inflation a
+// parallel solve_batch introduces (see the BatchSolve note in te/scheme.h):
+// scaled replay times depend only on each solve's time *relative to the
+// median*, not on the absolute measurement regime.
 double scheme_time_scale(const std::string& scheme, const std::string& topo,
                          double measured_median);
 

@@ -31,7 +31,9 @@ int main() {
                              std::min<std::size_t>(static_cast<std::size_t>(n_test),
                                                    inst->split.test.matrices.size()));
 
-    // One solve pass per scheme; reused for time stats and the online replay.
+    // One offline pass per scheme (run_offline: untimed warmup for
+    // warm-state schemes, then the sequential batched loop so each solve's
+    // time is a standalone latency). Reused for time stats and the replay.
     struct Run {
       std::string name;
       std::vector<te::Allocation> allocs;
@@ -46,12 +48,11 @@ int main() {
       } else {
         scheme = bench::make_baseline(sname, *inst);
       }
+      auto series = bench::run_offline(*scheme, *inst, test);
       Run run;
       run.name = sname;
-      for (int t = 0; t < test.size(); ++t) {
-        run.allocs.push_back(scheme->solve(inst->pb, test.at(t)));
-        run.seconds.push_back(scheme->last_solve_seconds());
-      }
+      run.allocs = std::move(series.allocs);
+      run.seconds = std::move(series.solve_seconds);
       std::printf("  [%s/%s] mean solve %.3f s\n", topo.c_str(), sname.c_str(),
                   util::mean(run.seconds));
       runs.push_back(std::move(run));

@@ -9,10 +9,12 @@
 
 #include "core/admm.h"
 #include "core/model.h"
+#include "core/teal_scheme.h"
 #include "lp/path_lp.h"
 #include "te/objective.h"
 #include "topo/topology.h"
 #include "traffic/traffic.h"
+#include "util/alloc_hook.h"
 
 using namespace teal;
 
@@ -47,6 +49,48 @@ void BM_FlowGnnForward(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FlowGnnForward)->Unit(benchmark::kMillisecond);
+
+// Workspace-reuse microbenchmark: the full TealScheme::solve pipeline with a
+// cold workspace every iteration vs. a warm (reused) one. The gap is the
+// allocation cost the SolveWorkspace refactor removed from the hot loop, and
+// `allocs_per_iter` regression-guards it: warm must report 0.
+core::TealScheme make_untrained_teal(const te::Problem& pb) {
+  return core::TealScheme(pb, std::make_unique<core::TealModel>(core::TealModelConfig{},
+                                                                pb.k_paths()),
+                          core::TealSchemeConfig{});
+}
+
+void BM_TealSolveColdWorkspace(benchmark::State& state) {
+  auto& f = swan();
+  auto scheme = make_untrained_teal(*f.pb);
+  te::Allocation out;
+  scheme.solve_into(*f.pb, f.trace.at(0), out);  // outside the alloc window
+  util::AllocCounter allocs;
+  for (auto _ : state) {
+    scheme.reset_workspace();
+    out = te::Allocation{};
+    scheme.solve_into(*f.pb, f.trace.at(0), out);
+    benchmark::DoNotOptimize(out.split.data());
+  }
+  state.counters["allocs_per_iter"] = benchmark::Counter(
+      static_cast<double>(allocs.count()), benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_TealSolveColdWorkspace)->Unit(benchmark::kMillisecond);
+
+void BM_TealSolveWarmWorkspace(benchmark::State& state) {
+  auto& f = swan();
+  auto scheme = make_untrained_teal(*f.pb);
+  te::Allocation out;
+  scheme.solve_into(*f.pb, f.trace.at(0), out);  // warm up workspace + out
+  util::AllocCounter allocs;
+  for (auto _ : state) {
+    scheme.solve_into(*f.pb, f.trace.at(0), out);
+    benchmark::DoNotOptimize(out.split.data());
+  }
+  state.counters["allocs_per_iter"] = benchmark::Counter(
+      static_cast<double>(allocs.count()), benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_TealSolveWarmWorkspace)->Unit(benchmark::kMillisecond);
 
 void BM_AdmmFineTune5Iters(benchmark::State& state) {
   auto& f = swan();

@@ -30,6 +30,13 @@ Admm::Admm(const te::Problem& pb, AdmmConfig cfg) : pb_(pb), cfg_(std::move(cfg)
 Admm::Residuals Admm::fine_tune(const te::TrafficMatrix& tm,
                                 const std::vector<double>& capacities,
                                 te::Allocation& a) const {
+  Workspace ws;
+  return fine_tune(tm, capacities, a, ws);
+}
+
+Admm::Residuals Admm::fine_tune(const te::TrafficMatrix& tm,
+                                const std::vector<double>& capacities,
+                                te::Allocation& a, Workspace& ws) const {
   const int nd = pb_.num_demands();
   const int ne = pb_.graph().num_edges();
   const int np = pb_.total_paths();
@@ -42,11 +49,13 @@ Admm::Residuals Admm::fine_tune(const te::TrafficMatrix& tm,
   double scale = 1e-9;
   for (double c : capacities) scale += c;
   scale /= std::max<std::size_t>(1, capacities.size());
-  std::vector<double> vol(static_cast<std::size_t>(nd));
+  std::vector<double>& vol = ws.vol;
+  vol.resize(static_cast<std::size_t>(nd));
   for (int d = 0; d < nd; ++d) {
     vol[static_cast<std::size_t>(d)] = tm.volume[static_cast<std::size_t>(d)] / scale;
   }
-  std::vector<double> cap(static_cast<std::size_t>(ne));
+  std::vector<double>& cap = ws.cap;
+  cap.resize(static_cast<std::size_t>(ne));
   for (int e = 0; e < ne; ++e) {
     cap[static_cast<std::size_t>(e)] = capacities[static_cast<std::size_t>(e)] / scale;
   }
@@ -60,7 +69,8 @@ Admm::Residuals Admm::fine_tune(const te::TrafficMatrix& tm,
       }
       v += std::max(0.0, sum - 1.0);
     }
-    std::vector<double> load(static_cast<std::size_t>(ne), 0.0);
+    std::vector<double>& load = ws.load;
+    load.assign(static_cast<std::size_t>(ne), 0.0);
     for (int p = 0; p < np; ++p) {
       double f = x[static_cast<std::size_t>(p)] *
                  vol[static_cast<std::size_t>(pb_.demand_of_path(p))];
@@ -73,13 +83,16 @@ Admm::Residuals Admm::fine_tune(const te::TrafficMatrix& tm,
   };
 
   // Primal/dual state.
-  std::vector<double> x(a.split.begin(), a.split.end());
+  std::vector<double>& x = ws.x;
+  x.assign(a.split.begin(), a.split.end());
   for (double& xv : x) xv = std::clamp(xv, 0.0, 1.0);
   Residuals res;
   res.before = violation(x);
 
-  std::vector<double> z(static_cast<std::size_t>(nz), 0.0);
-  std::vector<double> l4(static_cast<std::size_t>(nz), 0.0);
+  std::vector<double>& z = ws.z;
+  z.resize(static_cast<std::size_t>(nz));
+  std::vector<double>& l4 = ws.l4;
+  l4.assign(static_cast<std::size_t>(nz), 0.0);
   for (int p = 0; p < np; ++p) {
     double f = x[static_cast<std::size_t>(p)] *
                vol[static_cast<std::size_t>(pb_.demand_of_path(p))];
@@ -88,8 +101,12 @@ Admm::Residuals Admm::fine_tune(const te::TrafficMatrix& tm,
       z[static_cast<std::size_t>(zi)] = f;
     }
   }
-  std::vector<double> s1(static_cast<std::size_t>(nd), 0.0), l1(static_cast<std::size_t>(nd), 0.0);
-  std::vector<double> x_sum(static_cast<std::size_t>(nd), 0.0);
+  std::vector<double>& s1 = ws.s1;
+  s1.resize(static_cast<std::size_t>(nd));
+  std::vector<double>& l1 = ws.l1;
+  l1.assign(static_cast<std::size_t>(nd), 0.0);
+  std::vector<double>& x_sum = ws.x_sum;
+  x_sum.resize(static_cast<std::size_t>(nd));
   for (int d = 0; d < nd; ++d) {
     double sum = 0.0;
     for (int p = pb_.path_begin(d); p < pb_.path_end(d); ++p) {
@@ -98,7 +115,8 @@ Admm::Residuals Admm::fine_tune(const te::TrafficMatrix& tm,
     x_sum[static_cast<std::size_t>(d)] = sum;
     s1[static_cast<std::size_t>(d)] = std::max(0.0, 1.0 - sum);
   }
-  std::vector<double> z_sum(static_cast<std::size_t>(ne), 0.0);
+  std::vector<double>& z_sum = ws.z_sum;
+  z_sum.resize(static_cast<std::size_t>(ne));
   for (int e = 0; e < ne; ++e) {
     double sum = 0.0;
     for (const auto& inc : edge_incidence_[static_cast<std::size_t>(e)]) {
@@ -106,7 +124,10 @@ Admm::Residuals Admm::fine_tune(const te::TrafficMatrix& tm,
     }
     z_sum[static_cast<std::size_t>(e)] = sum;
   }
-  std::vector<double> s3(static_cast<std::size_t>(ne), 0.0), l3(static_cast<std::size_t>(ne), 0.0);
+  std::vector<double>& s3 = ws.s3;
+  s3.resize(static_cast<std::size_t>(ne));
+  std::vector<double>& l3 = ws.l3;
+  l3.assign(static_cast<std::size_t>(ne), 0.0);
   for (int e = 0; e < ne; ++e) {
     s3[static_cast<std::size_t>(e)] =
         std::max(0.0, cap[static_cast<std::size_t>(e)] - z_sum[static_cast<std::size_t>(e)]);

@@ -48,6 +48,23 @@ class Admm {
     double before = 0.0;
     double after = 0.0;
   };
+
+  // Per-solve primal/dual state. Passing the same Workspace to repeated
+  // fine_tune() calls reuses every buffer (allocation-free once warm); every
+  // entry is fully re-initialized per call, so reuse never changes results.
+  // Distinct Workspaces make concurrent fine_tune() calls on one Admm safe.
+  struct Workspace {
+    std::vector<double> vol, cap;           // normalized volumes/capacities
+    std::vector<double> x, x_sum;           // split ratios and per-demand sums
+    std::vector<double> z, z_sum, l4;       // per-(path,edge) auxiliaries
+    std::vector<double> s1, l1, s3, l3;     // slacks and multipliers
+    std::vector<double> load;               // per-edge load (violation check)
+  };
+
+  Residuals fine_tune(const te::TrafficMatrix& tm, const std::vector<double>& capacities,
+                      te::Allocation& a, Workspace& ws) const;
+
+  // Convenience overload allocating a throwaway workspace.
   Residuals fine_tune(const te::TrafficMatrix& tm, const std::vector<double>& capacities,
                       te::Allocation& a) const;
 

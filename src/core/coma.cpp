@@ -57,8 +57,11 @@ TrainStats train_coma(Model& model, const te::Problem& pb, const traffic::Trace&
   const std::vector<double> caps = pb.capacities();
 
   // Per-worker RNGs and scratch, so counterfactual evaluation parallelizes.
+  // The fork-join region runs up to pool.size() + 1 chunks concurrently (the
+  // calling thread participates), so size the slot arrays accordingly —
+  // a wrapped slot index would be a data race on the Rng/Scratch state.
   auto& pool = util::ThreadPool::global();
-  const std::size_t n_workers = pool.size();
+  const std::size_t n_workers = pool.size() + 1;
   util::Rng root(cfg.seed);
   std::vector<util::Rng> worker_rng;
   std::vector<RewardSimulator::Scratch> worker_scratch;

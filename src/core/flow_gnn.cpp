@@ -12,7 +12,7 @@ namespace {
 
 // Column-wise concat [a | b] -> out.
 void concat_cols(const nn::Mat& a, const nn::Mat& b, nn::Mat& out) {
-  out = nn::Mat(a.rows(), a.cols() + b.cols());
+  out.resize(a.rows(), a.cols() + b.cols());
   for (int r = 0; r < a.rows(); ++r) {
     std::copy(a.row_ptr(r), a.row_ptr(r) + a.cols(), out.row_ptr(r));
     std::copy(b.row_ptr(r), b.row_ptr(r) + b.cols(), out.row_ptr(r) + a.cols());
@@ -46,15 +46,13 @@ FlowGnn::FlowGnn(const FlowGnnConfig& cfg, int k_paths, util::Rng& rng)
 
 namespace {
 // Widens `m` to `target` columns by appending copies of the 1-dim init
-// feature (§4's expressiveness technique).
-nn::Mat widen_to(const nn::Mat& m, const nn::Mat& feat0, int target) {
-  if (m.cols() == target) return m;
-  nn::Mat out(m.rows(), target);
+// feature (§4's expressiveness technique). `out` must not alias `m`.
+void widen_into(const nn::Mat& m, const nn::Mat& feat0, int target, nn::Mat& out) {
+  out.resize(m.rows(), target);
   for (int r = 0; r < m.rows(); ++r) {
     std::copy(m.row_ptr(r), m.row_ptr(r) + m.cols(), out.row_ptr(r));
     for (int c = m.cols(); c < target; ++c) out.at(r, c) = feat0.at(r, 0);
   }
-  return out;
 }
 }  // namespace
 
@@ -62,7 +60,8 @@ void FlowGnn::aggregate_paths_to_edges(const te::Problem& pb, const nn::Mat& pat
                                        nn::Mat& agg) const {
   const int ne = pb.graph().num_edges();
   const int d = paths.cols();
-  agg = nn::Mat(ne, d);
+  agg.resize(ne, d);
+  agg.zero();
   util::ThreadPool::global().parallel_chunks(
       static_cast<std::size_t>(ne), [&](std::size_t b, std::size_t e) {
         for (std::size_t ei = b; ei < e; ++ei) {
@@ -83,7 +82,8 @@ void FlowGnn::aggregate_edges_to_paths(const te::Problem& pb, const nn::Mat& edg
                                        nn::Mat& agg) const {
   const int np = pb.total_paths();
   const int d = edges.cols();
-  agg = nn::Mat(np, d);
+  agg.resize(np, d);
+  agg.zero();
   util::ThreadPool::global().parallel_chunks(
       static_cast<std::size_t>(np), [&](std::size_t b, std::size_t e) {
         for (std::size_t pi = b; pi < e; ++pi) {
@@ -139,66 +139,66 @@ void FlowGnn::scatter_grad_paths_from_edges(const te::Problem& pb, const nn::Mat
       });
 }
 
-FlowGnn::Forward FlowGnn::forward(const te::Problem& pb, const te::TrafficMatrix& tm,
-                                  const std::vector<double>* capacities) const {
+void FlowGnn::forward(const te::Problem& pb, const te::TrafficMatrix& tm,
+                      const std::vector<double>* capacities, Forward& fwd) const {
   const int ne = pb.graph().num_edges();
   const int np = pb.total_paths();
   const int nd = pb.num_demands();
   const int k = k_paths_;
 
-  Forward fwd;
   fwd.blocks.resize(static_cast<std::size_t>(cfg_.n_blocks));
 
   // Initial 1-dim features, normalized by the mean link capacity so both
   // entities live on comparable scales (§3.2).
-  std::vector<double> caps = capacities ? *capacities : pb.capacities();
+  if (capacities == nullptr) {
+    pb.capacities_into(fwd.caps);
+    capacities = &fwd.caps;
+  }
+  const std::vector<double>& caps = *capacities;
   double mean_cap = 1e-9;
   for (double c : caps) mean_cap += c;
   mean_cap /= std::max<std::size_t>(1, caps.size());
-  fwd.edge_feat0 = nn::Mat(ne, 1);
+  fwd.edge_feat0.resize(ne, 1);
   for (int e = 0; e < ne; ++e) fwd.edge_feat0.at(e, 0) = caps[static_cast<std::size_t>(e)] / mean_cap;
-  fwd.path_feat0 = nn::Mat(np, 1);
+  fwd.path_feat0.resize(np, 1);
   for (int p = 0; p < np; ++p) {
     fwd.path_feat0.at(p, 0) =
         tm.volume[static_cast<std::size_t>(pb.demand_of_path(p))] / mean_cap;
   }
 
-  nn::Mat edge_cur = widen_to(fwd.edge_feat0, fwd.edge_feat0, dims_[0]);
-  nn::Mat path_cur = widen_to(fwd.path_feat0, fwd.path_feat0, dims_[0]);
+  widen_into(fwd.edge_feat0, fwd.edge_feat0, dims_[0], fwd.blocks[0].edge_in);
+  widen_into(fwd.path_feat0, fwd.path_feat0, dims_[0], fwd.blocks[0].path_in);
 
   for (int l = 0; l < cfg_.n_blocks; ++l) {
     auto& blk = fwd.blocks[static_cast<std::size_t>(l)];
     const int d = dims_[static_cast<std::size_t>(l)];
-    blk.edge_in = std::move(edge_cur);
-    blk.path_in = std::move(path_cur);
 
     // --- GNN layer: synchronous bipartite message passing.
-    nn::Mat agg_e, agg_p;
-    aggregate_paths_to_edges(pb, blk.path_in, agg_e);
-    aggregate_edges_to_paths(pb, blk.edge_in, agg_p);
-    concat_cols(blk.edge_in, agg_e, blk.edge_cat);
-    concat_cols(blk.path_in, agg_p, blk.path_cat);
+    aggregate_paths_to_edges(pb, blk.path_in, fwd.agg_e);
+    aggregate_edges_to_paths(pb, blk.edge_in, fwd.agg_p);
+    concat_cols(blk.edge_in, fwd.agg_e, blk.edge_cat);
+    concat_cols(blk.path_in, fwd.agg_p, blk.path_cat);
     edge_linear_[static_cast<std::size_t>(l)].forward(blk.edge_cat, blk.edge_pre);
     path_linear_[static_cast<std::size_t>(l)].forward(blk.path_cat, blk.path_pre);
     nn::leaky_relu_forward(blk.edge_pre, blk.edge_act, cfg_.leaky_alpha);
-    nn::Mat path_act;
-    nn::leaky_relu_forward(blk.path_pre, path_act, cfg_.leaky_alpha);
+    nn::leaky_relu_forward(blk.path_pre, blk.path_act, cfg_.leaky_alpha);
 
-    // --- DNN layer: coordinate the k paths of each demand.
-    blk.dnn_in = nn::Mat(nd, k * d);
+    // --- DNN layer: coordinate the k paths of each demand. Demands with
+    // fewer than k paths keep zero padding in their trailing slots.
+    blk.dnn_in.resize(nd, k * d);
+    blk.dnn_in.zero();
     for (int dem = 0; dem < nd; ++dem) {
       double* row = blk.dnn_in.row_ptr(dem);
       int slot = 0;
       for (int p = pb.path_begin(dem); p < pb.path_end(dem); ++p, ++slot) {
-        std::copy(path_act.row_ptr(p), path_act.row_ptr(p) + d, row + slot * d);
+        std::copy(blk.path_act.row_ptr(p), blk.path_act.row_ptr(p) + d, row + slot * d);
       }
     }
     dnn_linear_[static_cast<std::size_t>(l)].forward(blk.dnn_in, blk.dnn_pre);
-    nn::Mat dnn_act;
-    nn::leaky_relu_forward(blk.dnn_pre, dnn_act, cfg_.leaky_alpha);
-    blk.path_out = nn::Mat(np, d);
+    nn::leaky_relu_forward(blk.dnn_pre, fwd.dnn_act, cfg_.leaky_alpha);
+    blk.path_out.resize(np, d);
     for (int dem = 0; dem < nd; ++dem) {
-      const double* row = dnn_act.row_ptr(dem);
+      const double* row = fwd.dnn_act.row_ptr(dem);
       int slot = 0;
       for (int p = pb.path_begin(dem); p < pb.path_end(dem); ++p, ++slot) {
         std::copy(row + slot * d, row + (slot + 1) * d, blk.path_out.row_ptr(p));
@@ -206,15 +206,23 @@ FlowGnn::Forward FlowGnn::forward(const te::Problem& pb, const te::TrafficMatrix
     }
 
     // --- Widen toward the next block's dimension, refilled with the
-    // initialization value (§4).
+    // initialization value (§4). Written straight into the next block's
+    // inputs so every buffer stays put across repeated forward passes.
     if (l + 1 < cfg_.n_blocks) {
       const int next = dims_[static_cast<std::size_t>(l) + 1];
-      edge_cur = widen_to(blk.edge_act, fwd.edge_feat0, next);
-      path_cur = widen_to(blk.path_out, fwd.path_feat0, next);
+      auto& nxt = fwd.blocks[static_cast<std::size_t>(l) + 1];
+      widen_into(blk.edge_act, fwd.edge_feat0, next, nxt.edge_in);
+      widen_into(blk.path_out, fwd.path_feat0, next, nxt.path_in);
     } else {
       fwd.final_paths = blk.path_out;
     }
   }
+}
+
+FlowGnn::Forward FlowGnn::forward(const te::Problem& pb, const te::TrafficMatrix& tm,
+                                  const std::vector<double>* capacities) const {
+  Forward fwd;
+  forward(pb, tm, capacities, fwd);
   return fwd;
 }
 

@@ -49,6 +49,9 @@ class FlowGnn {
   // path embeddings), so construction takes the problem's k.
   FlowGnn(const FlowGnnConfig& cfg, int k_paths, util::Rng& rng);
 
+  // Forward caches double as a reusable workspace: run forward() into the
+  // same Forward object repeatedly and every Mat resizes in place, so steady-
+  // state passes perform no heap allocation.
   struct Forward {
     // Per-block caches needed by backward.
     struct Block {
@@ -62,10 +65,20 @@ class FlowGnn {
     std::vector<Block> blocks;
     nn::Mat edge_feat0, path_feat0;  // initial 1-dim features (for widening)
     nn::Mat final_paths;             // (N_p x n_blocks) final path embeddings
+
+    // Scratch reused across blocks (not needed by backward).
+    nn::Mat agg_e, agg_p;            // bipartite aggregation outputs
+    nn::Mat dnn_act;                 // DNN-layer activation
+    std::vector<double> caps;        // capacity snapshot when none is passed
   };
 
   // Runs the GNN over the problem structure with the given per-interval
-  // inputs. `capacities` may override the graph's (link failures, §5.3).
+  // inputs, writing into (and reusing) the caller-owned Forward workspace.
+  // `capacities` may override the graph's (link failures, §5.3).
+  void forward(const te::Problem& pb, const te::TrafficMatrix& tm,
+               const std::vector<double>* capacities, Forward& fwd) const;
+
+  // Convenience wrapper allocating a fresh Forward per call.
   Forward forward(const te::Problem& pb, const te::TrafficMatrix& tm,
                   const std::vector<double>* capacities = nullptr) const;
 

@@ -7,14 +7,23 @@ TealModel::TealModel(const TealModelConfig& cfg, int k_paths, std::uint64_t seed
       gnn_(cfg.gnn, k_paths, init_rng_),
       policy_(cfg.policy, k_paths * effective_final_dim(cfg.gnn), k_paths, init_rng_) {}
 
+void TealModel::run_pipeline(const te::Problem& pb, const te::TrafficMatrix& tm,
+                             const std::vector<double>* capacities, Forward& fwd) const {
+  gnn_.forward(pb, tm, capacities, fwd.gnn);
+  build_policy_input(pb, fwd.gnn.final_paths, k_, fwd.policy.input, fwd.mask);
+  policy_.forward(fwd.policy);
+}
+
+void TealModel::forward(const te::Problem& pb, const te::TrafficMatrix& tm,
+                        const std::vector<double>* capacities, Forward& fwd) const {
+  run_pipeline(pb, tm, capacities, fwd);
+  fwd.logits = fwd.policy.logits;
+}
+
 TealModel::Forward TealModel::forward(const te::Problem& pb, const te::TrafficMatrix& tm,
                                       const std::vector<double>* capacities) const {
   Forward fwd;
-  fwd.gnn = gnn_.forward(pb, tm, capacities);
-  nn::Mat input;
-  build_policy_input(pb, fwd.gnn.final_paths, k_, input, fwd.mask);
-  fwd.policy = policy_.forward(input);
-  fwd.logits = fwd.policy.logits;
+  forward(pb, tm, capacities, fwd);
   return fwd;
 }
 
@@ -40,7 +49,24 @@ ModelForward TealModel::forward_m(const te::Problem& pb, const te::TrafficMatrix
   out.logits = typed->logits;
   out.mask = typed->mask;
   out.cache = typed;
+  out.owner = this;
   return out;
+}
+
+void TealModel::forward_ws(const te::Problem& pb, const te::TrafficMatrix& tm,
+                           const std::vector<double>* capacities, ModelForward& out) const {
+  // A shared cache (use_count > 1) must not be overwritten in place — another
+  // ModelForward may still need it for backward_m. Start fresh instead.
+  if (out.owner != this || out.cache == nullptr || out.cache.use_count() != 1) {
+    out.cache = std::make_shared<Forward>();
+    out.owner = this;
+  }
+  auto* typed = static_cast<Forward*>(out.cache.get());
+  // run_pipeline (not forward) to skip the typed-API Forward::logits copy:
+  // the solve path reads logits from the ModelForward only.
+  run_pipeline(pb, tm, capacities, *typed);
+  out.logits = typed->policy.logits;  // capacity-reusing copies
+  out.mask = typed->mask;
 }
 
 void TealModel::backward_m(const te::Problem& pb, const ModelForward& fwd,
@@ -55,14 +81,20 @@ nn::Mat splits_from_logits(const nn::Mat& logits, const nn::Mat& mask) {
 }
 
 te::Allocation allocation_from_splits(const te::Problem& pb, const nn::Mat& splits) {
-  te::Allocation a = pb.empty_allocation();
+  te::Allocation a;
+  allocation_from_splits_into(pb, splits, a);
+  return a;
+}
+
+void allocation_from_splits_into(const te::Problem& pb, const nn::Mat& splits,
+                                 te::Allocation& a) {
+  a.split.assign(static_cast<std::size_t>(pb.total_paths()), 0.0);
   for (int d = 0; d < pb.num_demands(); ++d) {
     int slot = 0;
     for (int p = pb.path_begin(d); p < pb.path_end(d) && slot < splits.cols(); ++p, ++slot) {
       a.split[static_cast<std::size_t>(p)] = splits.at(d, slot);
     }
   }
-  return a;
 }
 
 }  // namespace teal::core

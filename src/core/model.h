@@ -18,10 +18,15 @@ namespace teal::core {
 // Type-erased forward result shared by TealModel and the Figure 14 ablation
 // variants: per-demand policy logits, the path-validity mask, and an opaque
 // cache the owning model needs for its hand-written backward pass.
+//
+// A ModelForward is also the unit of workspace reuse: forward_ws() re-runs a
+// model into the same object, and `owner` records which model produced the
+// cache so a stale cache from a different model is never reinterpreted.
 struct ModelForward {
   nn::Mat logits;  // (D, k)
   nn::Mat mask;    // (D, k)
   std::shared_ptr<void> cache;
+  const void* owner = nullptr;
 };
 
 // Interface the trainers (COMA*, direct loss) operate on, so the same
@@ -36,6 +41,15 @@ class Model {
                           const nn::Mat& grad_logits) = 0;
   virtual std::vector<nn::Param*> params() = 0;
   virtual int k_paths() const = 0;
+
+  // Workspace-based forward: re-runs the model into `fwd`, reusing its cache
+  // when this model produced it (TealModel makes repeated calls allocation-
+  // free). Must be safe to call concurrently with distinct `fwd` objects.
+  // Default falls back to the allocating forward_m.
+  virtual void forward_ws(const te::Problem& pb, const te::TrafficMatrix& tm,
+                          const std::vector<double>* capacities, ModelForward& fwd) const {
+    fwd = forward_m(pb, tm, capacities);
+  }
 
   void save(const std::string& path) { nn::save_params(path, params()); }
   bool load(const std::string& path) { return nn::load_params(path, params()); }
@@ -63,9 +77,15 @@ class TealModel : public Model {
   // Backward from d(loss)/d(logits) through the policy net and FlowGNN.
   void backward(const te::Problem& pb, const Forward& fwd, const nn::Mat& grad_logits);
 
+  // Workspace variant writing into (and reusing) a caller-owned Forward.
+  void forward(const te::Problem& pb, const te::TrafficMatrix& tm,
+               const std::vector<double>* capacities, Forward& fwd) const;
+
   // Model interface (type-erased wrappers over the typed forward/backward).
   ModelForward forward_m(const te::Problem& pb, const te::TrafficMatrix& tm,
                          const std::vector<double>* capacities = nullptr) const override;
+  void forward_ws(const te::Problem& pb, const te::TrafficMatrix& tm,
+                  const std::vector<double>* capacities, ModelForward& fwd) const override;
   void backward_m(const te::Problem& pb, const ModelForward& fwd,
                   const nn::Mat& grad_logits) override;
   std::vector<nn::Param*> params() override;
@@ -74,6 +94,11 @@ class TealModel : public Model {
   const TealModelConfig& config() const { return cfg_; }
 
  private:
+  // Shared pipeline body; leaves Forward::logits (the typed-API alias of
+  // policy.logits) unset so forward_ws can skip that copy on the hot path.
+  void run_pipeline(const te::Problem& pb, const te::TrafficMatrix& tm,
+                    const std::vector<double>* capacities, Forward& fwd) const;
+
   TealModelConfig cfg_;
   int k_;
   util::Rng init_rng_;  // declared before the networks: it seeds their init
@@ -88,5 +113,9 @@ nn::Mat splits_from_logits(const nn::Mat& logits, const nn::Mat& mask);
 // Writes a (D, k) split matrix into a flat Allocation on the problem's global
 // path id space.
 te::Allocation allocation_from_splits(const te::Problem& pb, const nn::Mat& splits);
+
+// Same, into a caller-owned Allocation (capacity reused on warm calls).
+void allocation_from_splits_into(const te::Problem& pb, const nn::Mat& splits,
+                                 te::Allocation& a);
 
 }  // namespace teal::core

@@ -16,9 +16,7 @@ PolicyNet::PolicyNet(const PolicyConfig& cfg, int in_dim, int k_paths, util::Rng
   out_ = nn::Linear(cur, k_paths, rng);
 }
 
-PolicyNet::Forward PolicyNet::forward(const nn::Mat& input) const {
-  Forward fwd;
-  fwd.input = input;
+void PolicyNet::forward(Forward& fwd) const {
   const nn::Mat* cur = &fwd.input;
   fwd.pre.resize(hidden_.size());
   fwd.act.resize(hidden_.size());
@@ -28,6 +26,12 @@ PolicyNet::Forward PolicyNet::forward(const nn::Mat& input) const {
     cur = &fwd.act[i];
   }
   out_.forward(*cur, fwd.logits);
+}
+
+PolicyNet::Forward PolicyNet::forward(const nn::Mat& input) const {
+  Forward fwd;
+  fwd.input = input;
+  forward(fwd);
   return fwd;
 }
 
@@ -58,8 +62,10 @@ void build_policy_input(const te::Problem& pb, const nn::Mat& path_embeddings, i
                         nn::Mat& input, nn::Mat& mask) {
   const int nd = pb.num_demands();
   const int dim = path_embeddings.cols();
-  input = nn::Mat(nd, k * dim);
-  mask = nn::Mat(nd, k);
+  input.resize(nd, k * dim);
+  input.zero();
+  mask.resize(nd, k);
+  mask.zero();
   for (int d = 0; d < nd; ++d) {
     double* row = input.row_ptr(d);
     int slot = 0;

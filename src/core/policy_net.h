@@ -27,6 +27,8 @@ class PolicyNet {
   // in_dim = k_paths * embedding_dim; out_dim = k_paths.
   PolicyNet(const PolicyConfig& cfg, int in_dim, int k_paths, util::Rng& rng);
 
+  // Doubles as a reusable workspace: repeated in-place forward() calls into
+  // the same object resize every Mat within its existing capacity.
   struct Forward {
     nn::Mat input;                 // (D, in_dim)
     std::vector<nn::Mat> pre;      // hidden pre-activations
@@ -34,8 +36,12 @@ class PolicyNet {
     nn::Mat logits;                // (D, k)
   };
 
+  // In-place forward: reads fwd.input (which the caller fills, e.g. via
+  // build_policy_input), writes pre/act/logits. Allocation-free once warm.
+  void forward(Forward& fwd) const;
+
   // `input` rows are per-demand concatenated path embeddings (zero-padded for
-  // demands with fewer than k paths).
+  // demands with fewer than k paths). Allocates a fresh Forward per call.
   Forward forward(const nn::Mat& input) const;
 
   // Backward from d(loss)/d(logits); writes d(loss)/d(input).

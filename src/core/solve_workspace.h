@@ -1,0 +1,33 @@
+// solve_workspace.h — per-solve scratch state for the deployable pipeline.
+//
+// The paper's Figure 7 result rests on the inference pass having a fixed,
+// traffic-independent compute shape. A SolveWorkspace makes the *memory*
+// shape equally fixed: it owns every buffer a TealScheme::solve() touches —
+// the capacity snapshot, the model's forward caches, the softmax splits and
+// the ADMM primal/dual state — so repeated solves on the same problem
+// allocate nothing after the first call (verified by the allocation-counting
+// tests and the cold/warm micro-benchmark).
+//
+// Workspaces share no mutable state with each other or with the scheme's
+// read-only model, so independent traffic matrices can be solved
+// concurrently, one workspace per worker — the interface-level
+// commutativity that lets solve_batch() scale across the thread pool.
+#pragma once
+
+#include <vector>
+
+#include "core/admm.h"
+#include "core/model.h"
+
+namespace teal::core {
+
+struct SolveWorkspace {
+  std::vector<double> caps;  // capacity snapshot for this solve
+  ModelForward fwd;          // model forward caches (owner-tagged)
+  nn::Mat splits;            // (D, k) masked-softmax split ratios
+  Admm::Workspace admm;      // ADMM primal/dual state
+
+  void clear() { *this = SolveWorkspace{}; }
+};
+
+}  // namespace teal::core

@@ -1,6 +1,9 @@
 #include "core/teal_scheme.h"
 
+#include <algorithm>
+
 #include "lp/path_lp.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace teal::core {
@@ -24,17 +27,88 @@ TealScheme::TealScheme(const te::Problem& pb, std::unique_ptr<Model> model,
     : model_(std::move(model)), cfg_(cfg), admm_(pb, make_admm_config(pb, cfg)),
       name_(std::move(name)) {}
 
-te::Allocation TealScheme::solve(const te::Problem& pb, const te::TrafficMatrix& tm) {
+void TealScheme::solve_with(SolveWorkspace& ws, const te::Problem& pb,
+                            const te::TrafficMatrix& tm, te::Allocation& out,
+                            double* seconds_out) const {
   util::Timer timer;
-  const std::vector<double> caps = pb.capacities();
-  auto fwd = model_->forward_m(pb, tm, &caps);
-  nn::Mat splits = splits_from_logits(fwd.logits, fwd.mask);
-  te::Allocation a = allocation_from_splits(pb, splits);
+  pb.capacities_into(ws.caps);
+  model_->forward_ws(pb, tm, &ws.caps, ws.fwd);
+  nn::softmax_rows(ws.fwd.logits, ws.fwd.mask, ws.splits);
+  allocation_from_splits_into(pb, ws.splits, out);
   if (cfg_.use_admm) {
-    admm_.fine_tune(tm, caps, a);
+    admm_.fine_tune(tm, ws.caps, out, ws.admm);
   }
-  last_seconds_ = timer.seconds();
+  if (seconds_out != nullptr) *seconds_out = timer.seconds();
+}
+
+te::Allocation TealScheme::solve(const te::Problem& pb, const te::TrafficMatrix& tm) {
+  te::Allocation a;
+  solve_into(pb, tm, a);
   return a;
+}
+
+void TealScheme::solve_into(const te::Problem& pb, const te::TrafficMatrix& tm,
+                            te::Allocation& out) {
+  solve_with(ws_, pb, tm, out, &last_seconds_);
+}
+
+te::BatchSolve TealScheme::solve_batch(const te::Problem& pb,
+                                       std::span<const te::TrafficMatrix> tms) {
+  auto& pool = util::ThreadPool::global();
+  // Contiguous chunks, one persistent workspace per chunk; the calling
+  // thread works chunk 0 with the scheme's own workspace while the pool
+  // workers take the rest. Falls back to the base-class sequential loop when
+  // there is nothing to fan out (or when already inside a pool worker, where
+  // nested fan-out would deadlock).
+  const std::size_t n_threads = pool.size() + 1;  // workers + caller
+  if (std::min(tms.size(), n_threads) <= 1 || util::ThreadPool::in_pool_worker()) {
+    return te::Scheme::solve_batch(pb, tms);
+  }
+  util::Timer wall;
+  te::BatchSolve out;
+  out.allocs.resize(tms.size());
+  out.solve_seconds.resize(tms.size());
+  const util::ChunkPlan plan = util::chunk_plan(tms.size(), n_threads);
+  if (batch_ws_.size() + 1 < plan.n_chunks) batch_ws_.resize(plan.n_chunks - 1);
+  std::vector<std::future<void>> futs;
+  futs.reserve(plan.n_chunks - 1);
+  for (std::size_t c = 1; c < plan.n_chunks; ++c) {
+    const std::size_t begin = c * plan.chunk;
+    const std::size_t end = std::min(tms.size(), begin + plan.chunk);
+    futs.push_back(pool.submit([this, &pb, tms, &out, c, begin, end] {
+      for (std::size_t t = begin; t < end; ++t) {
+        solve_with(batch_ws_[c - 1], pb, tms[t], out.allocs[t], &out.solve_seconds[t]);
+      }
+    }));
+  }
+  // Every future must be joined before `out` can unwind — a still-running
+  // worker writes into it. Collect the first error and rethrow after.
+  std::exception_ptr error;
+  try {
+    for (std::size_t t = 0; t < std::min(tms.size(), plan.chunk); ++t) {
+      solve_with(ws_, pb, tms[t], out.allocs[t], &out.solve_seconds[t]);
+    }
+  } catch (...) {
+    error = std::current_exception();
+  }
+  for (auto& f : futs) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!error) error = std::current_exception();
+    }
+  }
+  if (error) std::rethrow_exception(error);
+  // Keep the documented last_solve_seconds() semantics ("the batch's final
+  // solve"), matching the sequential loop.
+  if (!out.solve_seconds.empty()) last_seconds_ = out.solve_seconds.back();
+  out.wall_seconds = wall.seconds();
+  return out;
+}
+
+void TealScheme::reset_workspace() {
+  ws_.clear();
+  batch_ws_.clear();
 }
 
 void train_or_load_model(Model& model, const te::Problem& pb, const traffic::Trace& train,

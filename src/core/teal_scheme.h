@@ -5,15 +5,22 @@
 // ratios, then 2-5 ADMM fine-tuning iterations. The whole pipeline's flop
 // count is independent of the traffic matrix *values* — the property behind
 // Teal's tightly clustered computation times in Figure 7a.
+//
+// Every solve runs through a SolveWorkspace, so repeated solves on the same
+// problem are allocation-free, and solve_batch() fans independent matrices
+// out across the thread pool with one workspace per worker — the CPU
+// equivalent of the paper's GPU batch parallelism.
 #pragma once
 
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "core/admm.h"
 #include "core/coma.h"
 #include "core/direct_loss.h"
 #include "core/model.h"
+#include "core/solve_workspace.h"
 #include "te/scheme.h"
 #include "traffic/traffic.h"
 
@@ -38,17 +45,41 @@ class TealScheme : public te::Scheme {
 
   std::string name() const override { return name_; }
   te::Allocation solve(const te::Problem& pb, const te::TrafficMatrix& tm) override;
+  // The primary path: solves into a caller-owned Allocation through the
+  // scheme's workspace. Zero heap allocations once the workspace is warm.
+  void solve_into(const te::Problem& pb, const te::TrafficMatrix& tm,
+                  te::Allocation& out) override;
+  // Fans the batch out over ThreadPool::global() with one persistent
+  // workspace per worker. Results are identical to a sequential solve() loop
+  // (workspaces share no mutable state); only the timing differs — see the
+  // BatchSolve timing-semantics note in te/scheme.h for how the per-solve
+  // seconds relate to last_solve_seconds().
+  te::BatchSolve solve_batch(const te::Problem& pb,
+                             std::span<const te::TrafficMatrix> tms) override;
   double last_solve_seconds() const override { return last_seconds_; }
+  bool has_warm_state() const override { return true; }
+  bool supports_parallel_batch() const override { return true; }
 
   Model& model() { return *model_; }
   const Admm& admm() const { return admm_; }
 
+  // Drops all warm buffers (single-solve and batch workspaces). Used by the
+  // cold/warm micro-benchmark and tests; never needed in normal operation.
+  void reset_workspace();
+
  private:
+  // One solve through an explicit workspace; thread-safe across distinct
+  // workspaces. Also records per-solve seconds into `seconds_out` if given.
+  void solve_with(SolveWorkspace& ws, const te::Problem& pb, const te::TrafficMatrix& tm,
+                  te::Allocation& out, double* seconds_out) const;
+
   std::unique_ptr<Model> model_;
   TealSchemeConfig cfg_;
   Admm admm_;
   std::string name_;
   double last_seconds_ = 0.0;
+  SolveWorkspace ws_;                   // solve()/solve_into() workspace
+  std::vector<SolveWorkspace> batch_ws_;  // one per batch worker, lazily grown
 };
 
 // How to train the model inside make_teal_scheme.

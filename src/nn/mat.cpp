@@ -28,7 +28,7 @@ void linear_forward(const Mat& x, const Mat& w, const std::vector<double>& b, Ma
   const int n = x.rows(), in = x.cols(), out = w.rows();
   if (w.cols() != in) throw std::invalid_argument("linear_forward: shape mismatch");
   if (static_cast<int>(b.size()) != out) throw std::invalid_argument("linear_forward: bias");
-  y = Mat(n, out);
+  y.resize(n, out);
   for_rows(n, [&](int r) {
     const double* xr = x.row_ptr(r);
     double* yr = y.row_ptr(r);
@@ -47,7 +47,8 @@ void linear_backward(const Mat& x, const Mat& w, const Mat& gy, Mat& gx, Mat& gw
   if (gy.rows() != n || gy.cols() != out) {
     throw std::invalid_argument("linear_backward: gy shape");
   }
-  gx = Mat(n, in);
+  gx.resize(n, in);
+  gx.zero();
   for_rows(n, [&](int r) {
     const double* gyr = gy.row_ptr(r);
     double* gxr = gx.row_ptr(r);
@@ -73,7 +74,7 @@ void linear_backward(const Mat& x, const Mat& w, const Mat& gy, Mat& gx, Mat& gw
 }
 
 void leaky_relu_forward(const Mat& x, Mat& y, double alpha) {
-  y = Mat(x.rows(), x.cols());
+  y.resize(x.rows(), x.cols());
   const auto& xs = x.data();
   auto& ys = y.data();
   for (std::size_t i = 0; i < xs.size(); ++i) {
@@ -82,7 +83,7 @@ void leaky_relu_forward(const Mat& x, Mat& y, double alpha) {
 }
 
 void leaky_relu_backward(const Mat& x_pre, const Mat& gy, Mat& gx, double alpha) {
-  gx = Mat(x_pre.rows(), x_pre.cols());
+  gx.resize(x_pre.rows(), x_pre.cols());
   const auto& xs = x_pre.data();
   const auto& gs = gy.data();
   auto& os = gx.data();
@@ -94,7 +95,7 @@ void leaky_relu_backward(const Mat& x_pre, const Mat& gy, Mat& gx, double alpha)
 void softmax_rows(const Mat& logits, const Mat& mask, Mat& probs) {
   const int n = logits.rows(), k = logits.cols();
   const bool has_mask = !mask.empty();
-  probs = Mat(n, k);
+  probs.resize(n, k);
   for_rows(n, [&](int r) {
     const double* lr = logits.row_ptr(r);
     double* pr = probs.row_ptr(r);
@@ -119,7 +120,7 @@ void softmax_rows(const Mat& logits, const Mat& mask, Mat& probs) {
 
 void softmax_rows_backward(const Mat& probs, const Mat& gy, Mat& gx) {
   const int n = probs.rows(), k = probs.cols();
-  gx = Mat(n, k);
+  gx.resize(n, k);
   for_rows(n, [&](int r) {
     const double* pr = probs.row_ptr(r);
     const double* gr = gy.row_ptr(r);

@@ -45,6 +45,17 @@ class Mat {
   std::vector<double>& data() { return v_; }
   const std::vector<double>& data() const { return v_; }
 
+  // Reshapes to (rows, cols), reusing the existing heap buffer whenever its
+  // capacity suffices. Element values are unspecified afterwards — callers
+  // either overwrite every entry or follow up with zero(). The workspace-based
+  // solve path relies on this to keep repeated forward passes allocation-free.
+  void resize(int rows, int cols) {
+    if (rows < 0 || cols < 0) throw std::invalid_argument("Mat: negative shape");
+    rows_ = rows;
+    cols_ = cols;
+    v_.resize(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols));
+  }
+
   void zero() { std::fill(v_.begin(), v_.end(), 0.0); }
 
   bool same_shape(const Mat& o) const { return rows_ == o.rows_ && cols_ == o.cols_; }
@@ -53,6 +64,10 @@ class Mat {
   int rows_ = 0, cols_ = 0;
   std::vector<double> v_;
 };
+
+// All kernels below write into caller-owned outputs via Mat::resize, so a
+// warm output (same shape as the previous call) incurs no heap allocation.
+// Outputs must not alias inputs.
 
 // y = x * wT + b_broadcast : x is (n, in), w is (out, in), b is (out), y is (n, out).
 // Parallelized over rows of x when n is large.

@@ -16,6 +16,20 @@
 // interval budget so benches can place the LP baselines in the same
 // time-budget regime as the paper (both raw and scaled runs are reported in
 // EXPERIMENTS.md).
+//
+// For schemes with a parallel solve_batch (Teal), run_online() computes an
+// allocation for *every* trace matrix up front — amortizing batch
+// parallelism across the trace — and then replays the staleness timeline
+// over the per-matrix solve times (DESIGN.md, "workspace/batch
+// architecture"). The replay decides which solves would actually have
+// started given the budget, so the reported intervals match the lazy
+// control loop. Sequential schemes (the LP baselines) keep the lazy loop
+// itself and only compute the solves that really start. Note that a
+// parallel solve_batch measures per-solve times under fan-out contention
+// (see the BatchSolve note in te/scheme.h); callers holding the times
+// against a tight interval budget should pass a time_scale anchored on the
+// measured median — exactly what the figure benches' scheme_time_scale
+// mapping does.
 #pragma once
 
 #include <vector>
@@ -43,8 +57,9 @@ struct OnlineResult {
   double mean_satisfied_pct = 0.0;
 };
 
-// Runs the control loop over `trace`. The pre-existing routes before the
-// first solve completes are shortest-path routes.
+// Runs the control loop over `trace` (batched pass + replay for parallel
+// schemes, lazy loop otherwise — see above). The pre-existing routes before
+// the first solve completes are shortest-path routes.
 OnlineResult run_online(te::Scheme& scheme, const te::Problem& pb,
                         const traffic::Trace& trace, const OnlineConfig& cfg = {});
 

@@ -70,11 +70,16 @@ void Problem::validate_allocation(const Allocation& a, double tol) const {
 }
 
 std::vector<double> Problem::capacities() const {
-  std::vector<double> c(static_cast<std::size_t>(graph_.num_edges()));
-  for (topo::EdgeId e = 0; e < graph_.num_edges(); ++e) {
-    c[static_cast<std::size_t>(e)] = graph_.edge(e).capacity;
-  }
+  std::vector<double> c;
+  capacities_into(c);
   return c;
+}
+
+void Problem::capacities_into(std::vector<double>& out) const {
+  out.resize(static_cast<std::size_t>(graph_.num_edges()));
+  for (topo::EdgeId e = 0; e < graph_.num_edges(); ++e) {
+    out[static_cast<std::size_t>(e)] = graph_.edge(e).capacity;
+  }
 }
 
 std::vector<Demand> all_pairs_demands(const topo::Graph& g) {

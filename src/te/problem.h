@@ -88,6 +88,10 @@ class Problem {
   // modified copy to the evaluation functions instead of mutating the graph.
   std::vector<double> capacities() const;
 
+  // Same snapshot written into a caller-owned vector; reuses its capacity so
+  // the workspace-based solve path stays allocation-free.
+  void capacities_into(std::vector<double>& out) const;
+
  private:
   topo::Graph graph_;
   std::vector<Demand> demands_;

@@ -1,0 +1,29 @@
+// alloc_hook.h — process-wide heap allocation counter.
+//
+// The workspace refactor's contract is that TealScheme::solve_into() performs
+// zero heap allocations once its workspace is warm. That claim is verified,
+// not assumed: the library overrides global operator new/delete (see
+// alloc_hook.cpp) to bump a relaxed atomic counter — one add per allocation,
+// negligible next to the allocation itself — and tests/benches read it
+// through this header.
+#pragma once
+
+#include <cstdint>
+
+namespace teal::util {
+
+// Number of global operator new / new[] calls since process start.
+std::uint64_t total_allocations();
+
+// RAII window: how many allocations happened since construction.
+class AllocCounter {
+ public:
+  AllocCounter() : start_(total_allocations()) {}
+  std::uint64_t count() const { return total_allocations() - start_; }
+  void reset() { start_ = total_allocations(); }
+
+ private:
+  std::uint64_t start_;
+};
+
+}  // namespace teal::util

@@ -1,9 +1,17 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
-#include <atomic>
 
 namespace teal::util {
+
+namespace {
+thread_local bool t_in_pool_worker = false;
+// True while this thread — worker *or* region caller — is executing a region
+// chunk; nested parallel calls from inside a chunk must run inline.
+thread_local bool t_in_region_chunk = false;
+}  // namespace
+
+bool ThreadPool::in_pool_worker() { return t_in_pool_worker || t_in_region_chunk; }
 
 ThreadPool::ThreadPool(std::size_t n_threads) {
   if (n_threads == 0) {
@@ -25,45 +33,95 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::worker_loop() {
+  t_in_pool_worker = true;
   for (;;) {
     std::function<void()> task;
+    bool region = false;
     {
       std::unique_lock lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      cv_.wait(lock, [this] {
+        return stop_ || !tasks_.empty() ||
+               (region_thunk_ != nullptr && region_next_ < region_n_chunks_);
+      });
       if (stop_ && tasks_.empty()) return;
-      task = std::move(tasks_.front());
-      tasks_.pop();
+      if (!tasks_.empty()) {
+        task = std::move(tasks_.front());
+        tasks_.pop();
+      } else {
+        region = true;
+      }
     }
-    task();
+    if (region) {
+      work_on_region();
+    } else {
+      task();
+    }
   }
 }
 
-void ThreadPool::parallel_for(std::size_t n,
-                              const std::function<void(std::size_t)>& fn) {
-  parallel_chunks(n, [&fn](std::size_t begin, std::size_t end) {
-    for (std::size_t i = begin; i < end; ++i) fn(i);
-  });
+void ThreadPool::work_on_region() {
+  for (;;) {
+    RegionThunk thunk;
+    void* ctx;
+    std::size_t begin, end;
+    {
+      std::lock_guard lock(mu_);
+      if (region_thunk_ == nullptr || region_next_ >= region_n_chunks_) return;
+      const std::size_t idx = region_next_++;
+      thunk = region_thunk_;
+      ctx = region_ctx_;
+      begin = idx * region_chunk_;
+      end = std::min(region_n_, begin + region_chunk_);
+    }
+    t_in_region_chunk = true;
+    std::exception_ptr error;
+    try {
+      thunk(ctx, begin, end);
+    } catch (...) {
+      // Record the first chunk exception for run_region to rethrow at the
+      // calling thread (matching the old futures-based propagation); the
+      // erroring thread stops claiming, remaining chunks run normally.
+      error = std::current_exception();
+    }
+    t_in_region_chunk = false;
+    {
+      std::lock_guard lock(mu_);
+      if (error && region_error_ == nullptr) region_error_ = error;
+      if (++region_done_ == region_n_chunks_) region_done_cv_.notify_all();
+    }
+    if (error) return;
+  }
 }
 
-void ThreadPool::parallel_chunks(
-    std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn) {
-  if (n == 0) return;
-  const std::size_t n_workers = std::max<std::size_t>(1, workers_.size());
-  if (n == 1 || n_workers == 1) {
-    fn(0, n);
-    return;
+void ThreadPool::run_region(std::size_t n, RegionThunk thunk, void* ctx) {
+  // One region at a time; concurrent external callers queue up here. (Calls
+  // from pool workers never reach this point — parallel_chunks runs them
+  // inline.)
+  std::lock_guard entry(region_entry_mu_);
+  const ChunkPlan plan = chunk_plan(n, workers_.size() + 1);  // workers + caller
+  {
+    std::lock_guard lock(mu_);
+    region_thunk_ = thunk;
+    region_ctx_ = ctx;
+    region_n_ = n;
+    region_n_chunks_ = plan.n_chunks;
+    region_chunk_ = plan.chunk;
+    region_next_ = 0;
+    region_done_ = 0;
+    region_error_ = nullptr;
   }
-  const std::size_t n_chunks = std::min(n, n_workers);
-  const std::size_t chunk = (n + n_chunks - 1) / n_chunks;
-  std::vector<std::future<void>> futs;
-  futs.reserve(n_chunks);
-  for (std::size_t c = 0; c < n_chunks; ++c) {
-    const std::size_t begin = c * chunk;
-    const std::size_t end = std::min(n, begin + chunk);
-    if (begin >= end) break;
-    futs.push_back(submit([&fn, begin, end] { fn(begin, end); }));
+  cv_.notify_all();
+  work_on_region();  // the caller claims chunks too (never throws)
+  std::exception_ptr error;
+  {
+    std::unique_lock lock(mu_);
+    region_done_cv_.wait(lock, [this] { return region_done_ == region_n_chunks_; });
+    region_thunk_ = nullptr;
+    region_ctx_ = nullptr;
+    error = region_error_;
+    region_error_ = nullptr;
   }
-  for (auto& f : futs) f.get();
+  if (error) std::rethrow_exception(error);
 }
 
 ThreadPool& ThreadPool::global() {

@@ -8,18 +8,48 @@
 // updates, feasibility repair) goes through this pool, while the simplex
 // solver runs single-threaded, exactly like the paper's Gurobi baseline
 // (which gains only marginal speedup from extra threads, Figure 2).
+//
+// Two execution paths:
+//  * submit() — queue an arbitrary task, get a future. Used for coarse work
+//    like fanning a solve_batch() out across per-worker workspaces.
+//  * parallel_for()/parallel_chunks() — a fork-join region. The calling
+//    thread and the workers claim contiguous chunks off a shared counter; no
+//    std::function conversion, no futures, no per-call heap allocation, so
+//    the workspace-based solve path stays allocation-free end to end.
+//
+// Nesting: a parallel region entered from inside a pool worker runs inline
+// (sequentially) on that worker. That is exactly the shape solve_batch()
+// wants — outer parallelism across traffic matrices, inner kernels
+// sequential per worker — and it makes nested use deadlock-free.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <future>
 #include <mutex>
 #include <queue>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 namespace teal::util {
+
+// Contiguous-chunk division of n items over at most n_threads threads:
+// ceil-div chunk size, chunk count recomputed so no chunk is empty. Shared
+// by the pool's fork-join region and by callers (TealScheme::solve_batch)
+// that must size per-chunk state consistently with the pool's policy.
+struct ChunkPlan {
+  std::size_t chunk = 0;     // items per chunk
+  std::size_t n_chunks = 0;  // number of non-empty chunks
+};
+inline ChunkPlan chunk_plan(std::size_t n, std::size_t n_threads) {
+  if (n == 0 || n_threads == 0) return {0, 0};
+  const std::size_t target = n < n_threads ? n : n_threads;
+  const std::size_t chunk = (n + target - 1) / target;
+  return {chunk, (n + chunk - 1) / chunk};
+}
 
 class ThreadPool {
  public:
@@ -32,6 +62,13 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   std::size_t size() const { return workers_.size(); }
+
+  // True when the calling thread is one of this process's pool workers, or
+  // is currently executing a fork-join region chunk (the region caller
+  // participates in its own region). solve_batch() and parallel_chunks()
+  // use it to fall back to inline execution instead of deadlocking on
+  // nested fan-out.
+  static bool in_pool_worker();
 
   // Enqueues an arbitrary task; returns a future for its result.
   template <typename F>
@@ -49,26 +86,65 @@ class ThreadPool {
 
   // Runs `fn(i)` for i in [0, n) across the pool and blocks until all
   // iterations complete. Work is divided into contiguous chunks, one per
-  // worker, which is the right granularity for the dense numeric loops here.
-  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+  // thread, which is the right granularity for the dense numeric loops here.
+  template <typename F>
+  void parallel_for(std::size_t n, F&& fn) {
+    parallel_chunks(n, [&fn](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) fn(i);
+    });
+  }
 
   // Chunked variant: `fn(begin, end)` is invoked once per chunk. Lower
-  // overhead when the per-index work is tiny.
-  void parallel_chunks(std::size_t n,
-                       const std::function<void(std::size_t, std::size_t)>& fn);
+  // overhead when the per-index work is tiny. Allocation-free: the callable
+  // is passed to the workers as a raw (thunk, context) pair.
+  template <typename F>
+  void parallel_chunks(std::size_t n, F&& fn) {
+    if (n == 0) return;
+    if (n == 1 || workers_.size() <= 1 || in_pool_worker()) {
+      fn(0, n);
+      return;
+    }
+    using Fn = std::remove_reference_t<F>;
+    run_region(
+        n,
+        [](void* ctx, std::size_t begin, std::size_t end) {
+          (*static_cast<Fn*>(ctx))(begin, end);
+        },
+        &fn);
+  }
 
   // Process-wide pool sized to the hardware. Most callers should use this
   // instead of constructing their own.
   static ThreadPool& global();
 
  private:
+  using RegionThunk = void (*)(void* ctx, std::size_t begin, std::size_t end);
+
   void worker_loop();
+  // Fork-join core behind parallel_chunks: publishes (thunk, ctx) to the
+  // workers, participates in chunk claiming, and blocks until every chunk ran.
+  void run_region(std::size_t n, RegionThunk thunk, void* ctx);
+  // Claims and runs region chunks until none are left.
+  void work_on_region();
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> tasks_;
   std::mutex mu_;
   std::condition_variable cv_;
   bool stop_ = false;
+
+  // Active fork-join region (all fields guarded by mu_; one region at a time,
+  // serialized by region_entry_mu_).
+  std::mutex region_entry_mu_;
+  RegionThunk region_thunk_ = nullptr;
+  void* region_ctx_ = nullptr;
+  std::size_t region_n_ = 0;        // total iterations
+  std::size_t region_chunk_ = 0;    // iterations per chunk
+  std::size_t region_n_chunks_ = 0;
+  std::size_t region_next_ = 0;     // next unclaimed chunk index
+  std::size_t region_done_ = 0;     // completed chunks
+  std::exception_ptr region_error_; // first chunk exception, rethrown at caller
+  std::condition_variable region_done_cv_;
 };
 
 }  // namespace teal::util
