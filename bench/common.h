@@ -10,7 +10,9 @@
 //  * the paper-anchored time scaling for the online setting: measured solve
 //    times are mapped so that the anchor scheme's median equals the paper's
 //    reported time on that topology, placing the LP baselines in the same
-//    budget regime as the paper's testbed (documented in EXPERIMENTS.md).
+//    budget regime as the paper's testbed (documented in the repo-root
+//    EXPERIMENTS.md ledger, which also records raw vs. paper-anchored
+//    numbers per figure; scripts/check_docs.sh keeps it consistent).
 #pragma once
 
 #include <memory>

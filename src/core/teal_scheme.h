@@ -60,6 +60,18 @@ class TealScheme : public te::Scheme {
   bool has_warm_state() const override { return true; }
   bool supports_parallel_batch() const override { return true; }
 
+  // Thread-safe replica entry point for the serving layer: one solve through
+  // a caller-owned workspace. Distinct workspaces share no mutable state and
+  // the model is read-only at inference, so concurrent calls are safe — this
+  // is the same contract solve_batch() relies on, exposed so serve::Server
+  // can keep one persistent workspace per replica over a single shared
+  // scheme. Does not touch last_solve_seconds(); per-solve time is reported
+  // through `seconds_out`.
+  void solve_replica(SolveWorkspace& ws, const te::Problem& pb, const te::TrafficMatrix& tm,
+                     te::Allocation& out, double* seconds_out = nullptr) const {
+    solve_with(ws, pb, tm, out, seconds_out);
+  }
+
   Model& model() { return *model_; }
   const Admm& admm() const { return admm_; }
 

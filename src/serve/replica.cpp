@@ -1,0 +1,74 @@
+#include "serve/replica.h"
+
+#include <stdexcept>
+
+namespace teal::serve {
+
+namespace {
+
+class WorkspaceReplica final : public Replica {
+ public:
+  explicit WorkspaceReplica(const core::TealScheme& scheme) : scheme_(scheme) {}
+
+  void solve(const te::Problem& pb, const te::TrafficMatrix& tm, te::Allocation& out,
+             double* seconds) override {
+    scheme_.solve_replica(ws_, pb, tm, out, seconds);
+  }
+
+ private:
+  const core::TealScheme& scheme_;
+  core::SolveWorkspace ws_;  // warm after the first request
+};
+
+class SchemeReplica final : public Replica {
+ public:
+  explicit SchemeReplica(te::SchemePtr scheme) : scheme_(std::move(scheme)) {}
+
+  void solve(const te::Problem& pb, const te::TrafficMatrix& tm, te::Allocation& out,
+             double* seconds) override {
+    scheme_->solve_into(pb, tm, out);
+    if (seconds != nullptr) *seconds = scheme_->last_solve_seconds();
+  }
+
+ private:
+  te::SchemePtr scheme_;
+};
+
+}  // namespace
+
+std::vector<ReplicaPtr> make_workspace_replicas(const core::TealScheme& scheme,
+                                                std::size_t n) {
+  std::vector<ReplicaPtr> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(std::make_unique<WorkspaceReplica>(scheme));
+  }
+  return out;
+}
+
+std::vector<ReplicaPtr> make_scheme_replicas(const SchemeFactory& factory, std::size_t n) {
+  if (!factory) throw std::invalid_argument("make_scheme_replicas: null factory");
+  std::vector<ReplicaPtr> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(std::make_unique<SchemeReplica>(factory()));
+  }
+  return out;
+}
+
+std::vector<ReplicaPtr> make_replicas(te::Scheme& scheme, std::size_t n,
+                                      const SchemeFactory& factory) {
+  if (scheme.has_warm_state() && scheme.supports_parallel_batch()) {
+    if (auto* teal = dynamic_cast<core::TealScheme*>(&scheme)) {
+      return make_workspace_replicas(*teal, n);
+    }
+  }
+  if (!factory) {
+    throw std::invalid_argument(
+        "make_replicas: scheme '" + scheme.name() +
+        "' has no shareable workspace path; pass a SchemeFactory");
+  }
+  return make_scheme_replicas(factory, n);
+}
+
+}  // namespace teal::serve

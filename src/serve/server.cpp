@@ -1,0 +1,139 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/thread_name.h"
+#include "util/thread_pool.h"
+
+namespace teal::serve {
+
+Server::Server(const te::Problem& pb, std::vector<ReplicaPtr> replicas, ServeConfig cfg)
+    : pb_(pb),
+      replicas_(std::move(replicas)),
+      cfg_(cfg),
+      queue_(cfg.queue_capacity),
+      locals_(replicas_.size()) {
+  if (replicas_.empty()) {
+    throw std::invalid_argument(
+        "serve::Server: at least one replica required (accepted requests "
+        "could otherwise never complete and drain() would block forever)");
+  }
+  threads_.reserve(replicas_.size());
+  for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    threads_.emplace_back([this, i] { replica_loop(i); });
+  }
+}
+
+Server::~Server() { stop(); }
+
+double Server::solve_estimate() const {
+  if (cfg_.expected_solve_seconds > 0.0) return cfg_.expected_solve_seconds;
+  return solve_ewma_.load(std::memory_order_relaxed);
+}
+
+std::size_t Server::admission_depth_bound() const {
+  if (cfg_.deadline_seconds <= 0.0) return 0;
+  const double est = solve_estimate();
+  if (est <= 0.0) return 0;  // nothing observed yet: admit
+  const double bound =
+      cfg_.deadline_seconds * static_cast<double>(replicas_.size()) / est;
+  // At least 1 so an idle server always accepts; never beyond the queue.
+  return std::clamp<std::size_t>(static_cast<std::size_t>(bound), 1,
+                                 queue_.capacity());
+}
+
+bool Server::submit(const te::TrafficMatrix& tm, te::Allocation& out) {
+  offered_.fetch_add(1, std::memory_order_relaxed);
+  if (!started_.exchange(true)) {
+    // done_mu_ guards first_submit_ against a concurrent stop() reading it.
+    std::lock_guard lk(done_mu_);
+    first_submit_ = Clock::now();
+  }
+  const std::size_t bound = admission_depth_bound();
+  if (bound > 0 && queue_.size() >= bound) {
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  Request req;
+  req.tm = &tm;
+  req.out = &out;
+  req.enqueued = Clock::now();
+  if (!queue_.try_push(req)) {  // full or stopped
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  accepted_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void Server::replica_loop(std::size_t index) {
+  util::set_current_thread_name("teal-serve", index);
+  if (cfg_.pin_replicas) util::pin_current_thread(index);
+  // Outer parallelism is across replicas; every kernel a solve enters must
+  // run sequentially on this thread (see the header note).
+  util::ThreadPool::ScopedInline inline_kernels;
+  ReplicaLocal& self = locals_[index];
+  Request req;
+  while (queue_.pop(req)) {
+    const auto dequeued = Clock::now();
+    self.queue_wait.record(std::chrono::duration<double>(dequeued - req.enqueued).count());
+    double solve_s = 0.0;
+    replicas_[index]->solve(pb_, *req.tm, *req.out, &solve_s);
+    self.solve.record(solve_s);
+    self.busy_seconds += solve_s;
+    ++self.solved;
+    self.response.record(
+        std::chrono::duration<double>(Clock::now() - req.enqueued).count());
+    // EWMA of completed solve times for the admission bound. Plain
+    // store-after-load: concurrent updates may drop an observation, which
+    // only perturbs an estimate.
+    const double prev = solve_ewma_.load(std::memory_order_relaxed);
+    const double next = prev <= 0.0 ? solve_s : 0.8 * prev + 0.2 * solve_s;
+    solve_ewma_.store(next, std::memory_order_relaxed);
+    {
+      std::lock_guard lk(done_mu_);
+      ++completed_;
+    }
+    done_cv_.notify_all();
+  }
+}
+
+void Server::drain() {
+  const std::uint64_t target = accepted_.load(std::memory_order_relaxed);
+  std::unique_lock lk(done_mu_);
+  done_cv_.wait(lk, [&] { return completed_ >= target; });
+}
+
+ServeStats Server::stop() {
+  if (stopped_) return final_stats_;
+  stopped_ = true;
+  queue_.close();  // queued requests still drain; new submits shed
+  for (auto& t : threads_) t.join();
+
+  ServeStats s;
+  s.offered = offered_.load(std::memory_order_relaxed);
+  s.accepted = accepted_.load(std::memory_order_relaxed);
+  s.shed = shed_.load(std::memory_order_relaxed);
+  Clock::time_point first{};
+  {
+    std::lock_guard lk(done_mu_);
+    s.completed = completed_;
+    first = first_submit_;
+  }
+  s.wall_seconds = first == Clock::time_point{}
+                       ? 0.0
+                       : std::chrono::duration<double>(Clock::now() - first).count();
+  s.replicas.reserve(locals_.size());
+  for (const auto& l : locals_) {
+    s.replicas.push_back(ReplicaStats{l.solved, l.busy_seconds});
+    s.queue_wait.merge(l.queue_wait);
+    s.solve.merge(l.solve);
+    s.response.merge(l.response);
+  }
+  final_stats_ = s;
+  return final_stats_;
+}
+
+}  // namespace teal::serve

@@ -1,0 +1,158 @@
+// server.h — multi-replica online serving of TE solves.
+//
+// The batch path (te::Scheme::solve_batch) is closed-loop: a driver hands
+// the whole trace over and waits. A WAN controller is open-loop: traffic
+// matrices *arrive* — every 5 minutes per topology slice, or far faster when
+// one controller serves many slices — and a late allocation is a stale
+// allocation (sim/online.h). The Server models that deployment shape:
+//
+//   submit(tm, out) ──► admission ──► bounded MPMC queue ──► N replicas
+//                        │ shed                                │ solve
+//                        ▼                                     ▼
+//                    ServeStats ◄── per-replica latency/throughput merge
+//
+// Admission control: a request that cannot start within `deadline_seconds`
+// is useless by the time it finishes (its interval is over — the next
+// matrix has already arrived), so the server sheds it immediately instead
+// of queueing doomed work. The bound is derived from the deadline and the
+// observed per-solve time: depth_bound = deadline · n_replicas / est_solve,
+// i.e. how many queued requests the replica set can clear within one
+// deadline. est_solve is cfg.expected_solve_seconds when given, else an
+// EWMA of completed solves (first request always admitted).
+//
+// Concurrency: each replica owns its solver state (serve/replica.h) and its
+// own stats block, so the only shared mutable structures are the queue and
+// the completion counter. Replicas hold a ThreadPool::ScopedInline for their
+// lifetime — outer parallelism is across replicas; inner kernels run
+// per-thread-sequential, exactly like solve_batch's fan-out.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "serve/replica.h"
+#include "te/problem.h"
+#include "util/histogram.h"
+#include "util/mpmc_queue.h"
+
+namespace teal::serve {
+
+struct ServeConfig {
+  std::size_t queue_capacity = 256;
+  // Admission deadline: a request is shed when the queue already holds more
+  // work than the replicas can start within this budget. 0 disables
+  // admission control (only the queue bound sheds).
+  double deadline_seconds = 0.0;
+  // Per-solve time estimate for the admission bound. 0 = adapt: EWMA of
+  // completed solve times.
+  double expected_solve_seconds = 0.0;
+  // Best-effort: pin replica i to CPU i (for reproducible scaling runs).
+  bool pin_replicas = false;
+};
+
+struct ReplicaStats {
+  std::uint64_t solved = 0;
+  double busy_seconds = 0.0;  // sum of per-solve times
+};
+
+struct ServeStats {
+  std::uint64_t offered = 0;    // submit() calls
+  std::uint64_t accepted = 0;   // entered the queue
+  std::uint64_t shed = 0;       // rejected by admission or queue bound
+  std::uint64_t completed = 0;  // solved by a replica
+  double wall_seconds = 0.0;    // first submit → stop()
+
+  std::vector<ReplicaStats> replicas;
+  util::LatencyHistogram queue_wait;  // enqueue → dequeue
+  util::LatencyHistogram solve;       // solve alone
+  util::LatencyHistogram response;    // enqueue → result written
+
+  double throughput() const {
+    return wall_seconds > 0.0 ? static_cast<double>(completed) / wall_seconds : 0.0;
+  }
+};
+
+class Server {
+ public:
+  // Starts one serving thread per replica. `pb` must outlive the server and
+  // stay capacity-stable while requests are in flight (the same contract as
+  // solve_batch).
+  Server(const te::Problem& pb, std::vector<ReplicaPtr> replicas, ServeConfig cfg = {});
+  // Stops and joins if the caller never called stop().
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  std::size_t n_replicas() const { return replicas_.size(); }
+
+  // Submits one request. `tm` and `out` are caller-owned and must stay valid
+  // until drain()/stop() — the accepted request writes its allocation into
+  // `out` from a replica thread. Returns false when the request was shed
+  // (admission bound exceeded, queue full, or server stopped); `out` is then
+  // left untouched.
+  bool submit(const te::TrafficMatrix& tm, te::Allocation& out);
+
+  // Blocks until every accepted request has completed.
+  void drain();
+
+  // Drains, joins the replica threads and returns the final stats.
+  // Idempotent; submissions after stop() are shed.
+  ServeStats stop();
+
+  // Queue depth right now (admission diagnostics; racy by nature).
+  std::size_t queue_depth() const { return queue_.size(); }
+
+  // The admission bound currently in force (for tests/benches; 0 = none).
+  std::size_t admission_depth_bound() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Request {
+    const te::TrafficMatrix* tm = nullptr;
+    te::Allocation* out = nullptr;
+    Clock::time_point enqueued{};
+  };
+
+  // Per-replica accounting, written only by that replica's thread until the
+  // stop()-time merge.
+  struct ReplicaLocal {
+    std::uint64_t solved = 0;
+    double busy_seconds = 0.0;
+    util::LatencyHistogram queue_wait;
+    util::LatencyHistogram solve;
+    util::LatencyHistogram response;
+  };
+
+  void replica_loop(std::size_t index);
+  double solve_estimate() const;
+
+  const te::Problem& pb_;
+  std::vector<ReplicaPtr> replicas_;
+  ServeConfig cfg_;
+  util::MpmcQueue<Request> queue_;
+  std::vector<ReplicaLocal> locals_;
+  std::vector<std::thread> threads_;
+
+  std::atomic<std::uint64_t> offered_{0};
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> shed_{0};
+  std::atomic<double> solve_ewma_{0.0};
+
+  mutable std::mutex done_mu_;
+  std::condition_variable done_cv_;
+  std::uint64_t completed_ = 0;  // guarded by done_mu_
+
+  Clock::time_point first_submit_{};  // set once by the first submit()
+  std::atomic<bool> started_{false};
+  bool stopped_ = false;
+  ServeStats final_stats_;
+};
+
+}  // namespace teal::serve

@@ -1,0 +1,41 @@
+#include "sim/served.h"
+
+#include <chrono>
+#include <thread>
+
+namespace teal::sim {
+
+ServedResult run_served(const te::Problem& pb, const traffic::Trace& trace,
+                        std::vector<serve::ReplicaPtr> replicas, const ServedConfig& cfg) {
+  ServedResult res;
+  const std::size_t n = static_cast<std::size_t>(trace.size());
+  res.allocs.resize(n);
+  res.accepted.assign(n, 0);
+
+  serve::Server server(pb, std::move(replicas), cfg.serve);
+  using Clock = std::chrono::steady_clock;
+  const auto start = Clock::now();
+  for (std::size_t t = 0; t < n; ++t) {
+    if (cfg.arrival_interval_seconds > 0.0) {
+      // Open-loop: arrival t happens at start + t·interval whether or not
+      // earlier requests finished (no back-pressure on the arrival process).
+      const auto due = start + std::chrono::duration_cast<Clock::duration>(
+                                   std::chrono::duration<double>(
+                                       static_cast<double>(t) * cfg.arrival_interval_seconds));
+      std::this_thread::sleep_until(due);
+    }
+    res.accepted[t] =
+        server.submit(trace.at(static_cast<int>(t)), res.allocs[t]) ? 1 : 0;
+  }
+  server.drain();
+  res.stats = server.stop();
+  return res;
+}
+
+ServedResult run_served(te::Scheme& scheme, const te::Problem& pb,
+                        const traffic::Trace& trace, const ServedConfig& cfg,
+                        const serve::SchemeFactory& factory) {
+  return run_served(pb, trace, serve::make_replicas(scheme, cfg.n_replicas, factory), cfg);
+}
+
+}  // namespace teal::sim

@@ -1,0 +1,49 @@
+// served.h — open-loop trace replay through the serving layer.
+//
+// sim::run_online is closed-loop: the control loop itself decides when the
+// next solve starts, so the scheme is never offered more work than it can
+// do. run_served is the complementary driver: requests *arrive* on a fixed
+// schedule (every arrival_interval_seconds, independent of completions —
+// the open-loop discipline of real serving benchmarks), the server's
+// admission control sheds what cannot meet the deadline, and the result
+// records which matrices got fresh allocations and at what latency. At
+// arrival interval 0 the whole trace is offered as one burst, which turns
+// the driver into a saturation/throughput harness — the mode the
+// serve_scaling bench sweeps replica counts with.
+#pragma once
+
+#include "serve/replica.h"
+#include "serve/server.h"
+#include "te/problem.h"
+#include "traffic/traffic.h"
+
+namespace teal::sim {
+
+struct ServedConfig {
+  std::size_t n_replicas = 1;
+  // Open-loop spacing between request arrivals. 0 = burst (no pacing).
+  double arrival_interval_seconds = 0.0;
+  serve::ServeConfig serve;
+};
+
+struct ServedResult {
+  // Index-aligned with the trace. Shed requests leave an empty Allocation
+  // and accepted[t] == false.
+  std::vector<te::Allocation> allocs;
+  std::vector<char> accepted;
+  serve::ServeStats stats;
+};
+
+// Replays `trace` through a Server built from `replicas` (one serving thread
+// each). Blocks until every accepted request completed.
+ServedResult run_served(const te::Problem& pb, const traffic::Trace& trace,
+                        std::vector<serve::ReplicaPtr> replicas, const ServedConfig& cfg);
+
+// Convenience overload: builds the replicas from the scheme's traits
+// (serve::make_replicas) — workspace replicas over a shared TealScheme, or
+// one instance per replica via `factory` for the LP baselines.
+ServedResult run_served(te::Scheme& scheme, const te::Problem& pb,
+                        const traffic::Trace& trace, const ServedConfig& cfg,
+                        const serve::SchemeFactory& factory = nullptr);
+
+}  // namespace teal::sim

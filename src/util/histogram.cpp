@@ -1,0 +1,73 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace teal::util {
+
+int LatencyHistogram::bucket_of(double seconds) {
+  if (!(seconds > kMinSeconds)) return 0;  // also catches NaN
+  const double octaves = std::log2(seconds / kMinSeconds);
+  const int b = static_cast<int>(octaves * kBucketsPerOctave);
+  return std::clamp(b, 0, kBuckets - 1);
+}
+
+double LatencyHistogram::bucket_lower(int b) {
+  return kMinSeconds * std::exp2(static_cast<double>(b) / kBucketsPerOctave);
+}
+
+void LatencyHistogram::record(double seconds) {
+  if (std::isnan(seconds)) return;
+  seconds = std::max(seconds, 0.0);
+  if (count_ == 0) {
+    min_ = max_ = seconds;
+  } else {
+    min_ = std::min(min_, seconds);
+    max_ = std::max(max_, seconds);
+  }
+  ++count_;
+  sum_ += seconds;
+  ++buckets_[static_cast<std::size_t>(bucket_of(seconds))];
+}
+
+double LatencyHistogram::percentile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 100.0);
+  // Rank of the target observation, 1-based, linear in q like util::percentile.
+  const double rank = 1.0 + q / 100.0 * static_cast<double>(count_ - 1);
+  std::uint64_t seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    const std::uint64_t in_bucket = buckets_[static_cast<std::size_t>(b)];
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(seen + in_bucket) >= rank) {
+      // Geometric interpolation across the bucket span by the rank's
+      // position within the bucket.
+      const double frac =
+          (rank - static_cast<double>(seen)) / static_cast<double>(in_bucket);
+      const double lo = bucket_lower(b);
+      const double hi = bucket_lower(b + 1);
+      const double v = lo * std::pow(hi / lo, std::clamp(frac, 0.0, 1.0));
+      return std::clamp(v, min_, max_);
+    }
+    seen += in_bucket;
+  }
+  return max_;
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  for (int b = 0; b < kBuckets; ++b) {
+    buckets_[static_cast<std::size_t>(b)] += other.buckets_[static_cast<std::size_t>(b)];
+  }
+}
+
+}  // namespace teal::util

@@ -1,0 +1,86 @@
+// mpmc_queue.h — bounded multi-producer/multi-consumer queue, the request
+// channel of the serving layer (serve::Server).
+//
+// Design choices follow the serving workload, not generality:
+//  * bounded with a non-blocking try_push: the server's admission control
+//    decides whether a request enters at all; a full queue is a shed, never
+//    back-pressure on the submitter (open-loop arrivals keep arriving
+//    whether or not we block).
+//  * blocking pop with close() semantics: replicas park on the condition
+//    variable when idle and drain the remaining items after close() before
+//    pop() returns false — shutdown never drops accepted requests.
+//  * mutex + condvar, not lock-free: a queue operation costs ~100 ns while
+//    the cheapest solve behind it costs ~1 ms; the lock is invisible at this
+//    ratio and keeps the semantics (bound, close, size) trivially right.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+namespace teal::util {
+
+template <typename T>
+class MpmcQueue {
+ public:
+  explicit MpmcQueue(std::size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  MpmcQueue(const MpmcQueue&) = delete;
+  MpmcQueue& operator=(const MpmcQueue&) = delete;
+
+  // Enqueues `v` unless the queue is full or closed; returns whether it was
+  // accepted. Never blocks.
+  bool try_push(T v) {
+    {
+      std::lock_guard lock(mu_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(v));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  // Dequeues into `out`, blocking while the queue is empty and open. Returns
+  // false only when the queue is closed *and* fully drained.
+  bool pop(T& out) {
+    std::unique_lock lock(mu_);
+    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return false;
+    out = std::move(items_.front());
+    items_.pop_front();
+    return true;
+  }
+
+  // Rejects future pushes and wakes every blocked consumer; items already
+  // queued are still delivered.
+  void close() {
+    {
+      std::lock_guard lock(mu_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+  }
+
+  std::size_t size() const {
+    std::lock_guard lock(mu_);
+    return items_.size();
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+  bool closed() const {
+    std::lock_guard lock(mu_);
+    return closed_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  const std::size_t capacity_;
+  bool closed_ = false;
+};
+
+}  // namespace teal::util

@@ -1,0 +1,32 @@
+// thread_name.h — thread naming/affinity helpers shared by every component
+// that owns threads (util::ThreadPool workers, serve::Server replicas).
+//
+// Naming shows up in debuggers, `top -H` and perf profiles, which is how the
+// serving benches attribute time between pool workers ("teal-pool/N") and
+// serving replicas ("teal-serve/N"). Pinning is optional and best-effort:
+// the serving layer offers it for reproducible scaling runs, but correctness
+// never depends on it.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace teal::util {
+
+// Names the calling thread "<prefix>/<index>" (truncated to the platform
+// limit — 15 visible chars on Linux). No-op on platforms without
+// pthread_setname_np. The untruncated name is kept thread-locally and
+// returned by current_thread_name() so callers (and tests) can read it back
+// without a platform API.
+void set_current_thread_name(const char* prefix, std::size_t index);
+
+// Full (untruncated) name set via set_current_thread_name for this thread;
+// empty string if it was never named.
+const std::string& current_thread_name();
+
+// Best-effort pin of the calling thread to `cpu` (mod the hardware CPU
+// count). Returns true when the affinity call succeeded, false where
+// unsupported or rejected; callers must treat pinning as a hint.
+bool pin_current_thread(std::size_t cpu);
+
+}  // namespace teal::util

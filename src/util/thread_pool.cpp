@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/thread_name.h"
+
 namespace teal::util {
 
 namespace {
@@ -9,9 +11,17 @@ thread_local bool t_in_pool_worker = false;
 // True while this thread — worker *or* region caller — is executing a region
 // chunk; nested parallel calls from inside a chunk must run inline.
 thread_local bool t_in_region_chunk = false;
+// True inside a ScopedInline scope (serving replica threads).
+thread_local bool t_inline_scope = false;
 }  // namespace
 
-bool ThreadPool::in_pool_worker() { return t_in_pool_worker || t_in_region_chunk; }
+bool ThreadPool::in_pool_worker() {
+  return t_in_pool_worker || t_in_region_chunk || t_inline_scope;
+}
+
+ThreadPool::ScopedInline::ScopedInline() : prev_(t_inline_scope) { t_inline_scope = true; }
+
+ThreadPool::ScopedInline::~ScopedInline() { t_inline_scope = prev_; }
 
 ThreadPool::ThreadPool(std::size_t n_threads) {
   if (n_threads == 0) {
@@ -19,7 +29,7 @@ ThreadPool::ThreadPool(std::size_t n_threads) {
   }
   workers_.reserve(n_threads);
   for (std::size_t i = 0; i < n_threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -32,7 +42,8 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(std::size_t index) {
+  set_current_thread_name("teal-pool", index);
   t_in_pool_worker = true;
   for (;;) {
     std::function<void()> task;

@@ -63,12 +63,29 @@ class ThreadPool {
 
   std::size_t size() const { return workers_.size(); }
 
-  // True when the calling thread is one of this process's pool workers, or
-  // is currently executing a fork-join region chunk (the region caller
-  // participates in its own region). solve_batch() and parallel_chunks()
-  // use it to fall back to inline execution instead of deadlocking on
-  // nested fan-out.
+  // True when the calling thread is one of this process's pool workers, is
+  // currently executing a fork-join region chunk (the region caller
+  // participates in its own region), or is inside a ScopedInline scope.
+  // solve_batch() and parallel_chunks() use it to fall back to inline
+  // execution instead of deadlocking on nested fan-out.
   static bool in_pool_worker();
+
+  // Marks the calling thread so every parallel region it enters runs inline
+  // (sequentially, on this thread) instead of fanning out to the pool.
+  // Serving replicas (serve::Server) hold one for their whole lifetime: the
+  // outer parallelism is across replicas, so inner kernels must stay
+  // per-thread-sequential — the same shape solve_batch() gets implicitly by
+  // running on pool workers. Nests; restores the previous state on exit.
+  class ScopedInline {
+   public:
+    ScopedInline();
+    ~ScopedInline();
+    ScopedInline(const ScopedInline&) = delete;
+    ScopedInline& operator=(const ScopedInline&) = delete;
+
+   private:
+    bool prev_;
+  };
 
   // Enqueues an arbitrary task; returns a future for its result.
   template <typename F>
@@ -120,7 +137,7 @@ class ThreadPool {
  private:
   using RegionThunk = void (*)(void* ctx, std::size_t begin, std::size_t end);
 
-  void worker_loop();
+  void worker_loop(std::size_t index);
   // Fork-join core behind parallel_chunks: publishes (thunk, ctx) to the
   // workers, participates in chunk claiming, and blocks until every chunk ran.
   void run_region(std::size_t n, RegionThunk thunk, void* ctx);
