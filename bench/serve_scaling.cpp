@@ -94,6 +94,11 @@ int main() {
   for (std::size_t r = 1; r <= hw; ++r) {
     sim::ServedConfig cfg;
     cfg.n_replicas = r;
+    // This bench measures the *replica* axis in isolation: pin one shard per
+    // solve so the auto cost model can't hand the 1-replica baseline extra
+    // pool threads (which would contaminate the speedup column and the
+    // monotonicity expectation). bench_shard_scaling owns the shard axis.
+    cfg.shard_count = 1;
     cfg.serve.queue_capacity = static_cast<std::size_t>(n_requests);
     // Saturation mode: one burst, no deadline — measures pure service capacity.
     auto res = sim::run_served(*teal, inst->pb, requests, cfg);
@@ -128,6 +133,7 @@ int main() {
   if (base_throughput > 0.0) {
     sim::ServedConfig cfg;
     cfg.n_replicas = 1;
+    cfg.shard_count = 1;  // same isolation as the sweep above
     cfg.arrival_interval_seconds = 1.0 / (2.0 * base_throughput);
     cfg.serve.queue_capacity = static_cast<std::size_t>(n_requests);
     cfg.serve.deadline_seconds = cfg.arrival_interval_seconds;

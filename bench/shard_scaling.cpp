@@ -1,0 +1,185 @@
+// shard_scaling — demand-shard sweep of a single solve on the largest
+// bundled topology (ASN).
+//
+// Not a paper figure: this bench measures the repo's own intra-solve
+// sharding (core::ShardPlan), the third parallelism axis after solve_batch
+// (PR 1) and serving replicas (PR 2). Batching raises throughput across
+// matrices; sharding is the only axis that cuts the *latency* of one huge
+// solve — the paper obtains the same effect by running the per-demand
+// kernels data-parallel on a GPU. Because every shard count produces a
+// bit-identical allocation (verified here against the sequential path on
+// every sweep point), the sweep isolates pure scheduling cost: wall-clock
+// per solve as shards go 1 → threads.
+//
+// Output: a table on stdout, bench_out/shard_scaling.csv, and — when run
+// from the repo root — an appended entry in the EXPERIMENTS.md "Shard
+// scaling ledger". On a single-core machine the sweep degenerates (shards
+// inline); set TEAL_POOL_THREADS to exercise the fan-out paths anyway.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/common.h"
+#include "core/shard.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+using namespace teal;
+
+namespace {
+
+struct SweepRow {
+  int shards = 0;           // requested (0 = auto)
+  int plan_shards = 0;      // resolved plan
+  double median_ms = 0.0;
+  double speedup = 0.0;     // vs 1 shard
+  double balance = 0.0;     // min/max per-shard busy time (1.0 = perfect)
+  bool identical = false;   // bit-identical to the sequential solve
+};
+
+double median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  return v.empty() ? 0.0 : v[v.size() / 2];
+}
+
+// Inserts the run below the section's marker line (newest first) instead of
+// appending at EOF — the ledger has sections per bench, and a blind append
+// would land this run inside whichever section happens to be last.
+void append_experiments_ledger(const std::vector<SweepRow>& rows, int n_demands,
+                               std::size_t pool_threads, unsigned hw_threads) {
+  static const char* kMarker = "<!-- bench_shard_scaling inserts runs below this line -->";
+  std::ifstream in("EXPERIMENTS.md");
+  if (!in.good()) {
+    std::printf("  (EXPERIMENTS.md not in cwd; ledger entry skipped — run from the repo root)\n");
+    return;
+  }
+  std::string text((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  in.close();
+  const std::size_t pos = text.find(kMarker);
+  if (pos == std::string::npos) {
+    std::printf("  (EXPERIMENTS.md lost the shard ledger marker; entry skipped —\n"
+                "   scripts/check_docs.sh will flag this)\n");
+    return;
+  }
+  char stamp[64] = "unknown";
+  const std::time_t now = std::time(nullptr);
+  if (std::tm* tm = std::localtime(&now)) {
+    std::strftime(stamp, sizeof(stamp), "%Y-%m-%d %H:%M", tm);
+  }
+  std::string entry;
+  entry += "\n\n### Run ";
+  entry += stamp;
+  entry += " — ASN, " + std::to_string(n_demands) + " demands, pool " +
+           std::to_string(pool_threads) + " threads on " + std::to_string(hw_threads) +
+           " hardware" + (bench::fast_mode() ? " (fast mode)" : "") + "\n\n" +
+           "| shards | solve p50 (ms) | speedup | balance | bit-identical |\n" +
+           "|---|---|---|---|---|\n";
+  for (const auto& r : rows) {
+    entry += "| " + (r.shards == 0 ? std::string("auto→") + std::to_string(r.plan_shards)
+                                   : std::to_string(r.plan_shards)) +
+             " | " + util::fmt(r.median_ms, 3) + " | " + util::fmt(r.speedup, 2) +
+             "x | " + util::fmt(r.balance, 2) + " | " + (r.identical ? "yes" : "NO") +
+             " |\n";
+  }
+  if (!entry.empty() && entry.back() == '\n') entry.pop_back();
+  text.insert(pos + std::string(kMarker).size(), entry);
+  std::ofstream out("EXPERIMENTS.md", std::ios::trunc);
+  out << text;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Shard scaling",
+                      "intra-solve demand sharding, single-solve latency on ASN");
+  auto inst = bench::make_instance("ASN");
+  auto teal = bench::make_teal(*inst);
+  const te::TrafficMatrix& tm = inst->split.test.at(0);
+
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  const std::size_t pool_threads = util::ThreadPool::global().size() + 1;
+  const int repeats = bench::fast_mode() ? 5 : 21;
+
+  // Sequential reference (also warms the reference workspace).
+  core::SolveWorkspace ref_ws;
+  te::Allocation ref;
+  teal->solve_replica(ref_ws, inst->pb, tm, ref, nullptr, /*shard_count=*/1);
+
+  // Sweep: 1, 2, 4, 8, ... up to the pool width, the pool width itself, and
+  // the auto cost model (requested 0).
+  std::vector<int> sweep{1};
+  for (int s = 2; s < static_cast<int>(pool_threads); s *= 2) sweep.push_back(s);
+  if (pool_threads > 1) sweep.push_back(static_cast<int>(pool_threads));
+  sweep.push_back(0);  // auto
+
+  util::Table table({"shards", "plan", "solve p50 ms", "speedup", "balance", "identical"});
+  util::Table csv({"requested_shards", "plan_shards", "solve_p50_ms", "speedup",
+                   "balance", "identical"});
+  std::vector<SweepRow> rows;
+  double base_ms = 0.0;
+  for (int requested : sweep) {
+    core::SolveWorkspace ws;
+    te::Allocation out;
+    teal->solve_replica(ws, inst->pb, tm, out, nullptr, requested);  // warm-up
+    std::vector<double> ms;
+    ms.reserve(static_cast<std::size_t>(repeats));
+    for (int i = 0; i < repeats; ++i) {
+      double s = 0.0;
+      teal->solve_replica(ws, inst->pb, tm, out, &s, requested);
+      ms.push_back(s * 1e3);
+    }
+    SweepRow row;
+    row.shards = requested;
+    row.plan_shards = ws.plan.n_shards;
+    row.median_ms = median(ms);
+    if (requested == 1) base_ms = row.median_ms;
+    row.speedup = row.median_ms > 0.0 && base_ms > 0.0 ? base_ms / row.median_ms : 0.0;
+    double busy_min = 1e300, busy_max = 0.0;
+    for (int s = 0; s < ws.plan.n_shards; ++s) {
+      busy_min = std::min(busy_min, ws.shard_stats[static_cast<std::size_t>(s)].busy_seconds);
+      busy_max = std::max(busy_max, ws.shard_stats[static_cast<std::size_t>(s)].busy_seconds);
+    }
+    row.balance = busy_max > 0.0 ? busy_min / busy_max : 1.0;
+    // True byte comparison (not double ==, which conflates +0.0/-0.0).
+    row.identical =
+        out.split.size() == ref.split.size() &&
+        (ref.split.empty() ||
+         std::memcmp(out.split.data(), ref.split.data(),
+                     ref.split.size() * sizeof(double)) == 0);
+    rows.push_back(row);
+    const std::string req = requested == 0 ? "auto" : std::to_string(requested);
+    table.add_row({req, std::to_string(row.plan_shards), util::fmt(row.median_ms, 3),
+                   util::fmt(row.speedup, 2), util::fmt(row.balance, 2),
+                   row.identical ? "yes" : "NO"});
+    csv.add_row({req, std::to_string(row.plan_shards), util::fmt(row.median_ms, 4),
+                 util::fmt(row.speedup, 3), util::fmt(row.balance, 3),
+                 row.identical ? "1" : "0"});
+  }
+  std::printf("%s", table.to_string().c_str());
+
+  bool all_identical = true;
+  for (const auto& r : rows) all_identical = all_identical && r.identical;
+  std::printf("  bit-identical to the sequential solve at every shard count: %s\n",
+              all_identical ? "yes" : "NO");
+  double speedup_at_4 = 0.0;
+  for (const auto& r : rows) {
+    if (r.shards == 4) speedup_at_4 = r.speedup;
+  }
+  if (speedup_at_4 > 0.0) {
+    std::printf("  single-solve speedup at 4 shards: %.2fx (acceptance target > 1.5x on\n"
+                "  >= 4 hardware threads)\n", speedup_at_4);
+  } else {
+    std::printf("  4-shard point not reached (pool %zu threads); run on >= 4 cores for\n"
+                "  the acceptance sweep\n", pool_threads);
+  }
+
+  csv.write_csv(bench::out_dir() + "/shard_scaling.csv");
+  append_experiments_ledger(rows, inst->pb.num_demands(), pool_threads, hw);
+  return all_identical ? 0 : 1;
+}

@@ -38,6 +38,15 @@ Admm::Residuals Admm::fine_tune(const te::TrafficMatrix& tm,
                                 const std::vector<double>& capacities,
                                 te::Allocation& a, Workspace& ws) const {
   const int nd = pb_.num_demands();
+  return fine_tune(tm, capacities, a, ws,
+                   ShardPlan::make(nd, auto_shard_count(nd, pb_.total_paths())));
+}
+
+Admm::Residuals Admm::fine_tune(const te::TrafficMatrix& tm,
+                                const std::vector<double>& capacities,
+                                te::Allocation& a, Workspace& ws, const ShardPlan& shards,
+                                ShardStat* stats) const {
+  const int nd = pb_.num_demands();
   const int ne = pb_.graph().num_edges();
   const int np = pb_.total_paths();
   const int nz = z_offset_.back();
@@ -136,10 +145,12 @@ Admm::Residuals Admm::fine_tune(const te::TrafficMatrix& tm,
   const bool weighted = !cfg_.path_weight.empty();
 
   for (int it = 0; it < cfg_.iterations; ++it) {
-    // ---- F-update: per-demand nonnegative QP via coordinate descent.
-    pool.parallel_chunks(static_cast<std::size_t>(nd), [&](std::size_t b, std::size_t e_) {
-      for (std::size_t di = b; di < e_; ++di) {
-        const int d = static_cast<int>(di);
+    // ---- F-update: per-demand nonnegative QP via coordinate descent,
+    // fanned over the demand shards. Each shard touches only its own
+    // demands' x/x_sum entries and reads z/l4/s1/l1 held fixed this block.
+    run_sharded(shards, stats, [&](int /*shard*/, int d0, int d1) {
+      for (int d = d0; d < d1; ++d) {
+        const auto di = static_cast<std::size_t>(d);
         const double dv = vol[di];
         for (int sweep = 0; sweep < cfg_.coord_sweeps; ++sweep) {
           for (int p = pb_.path_begin(d); p < pb_.path_end(d); ++p) {
@@ -161,58 +172,56 @@ Admm::Residuals Admm::fine_tune(const te::TrafficMatrix& tm,
       }
     });
 
-    // ---- s3-update (same ADMM block as x: both only touch z/s1 terms that
-    // are held fixed, keeping this a convergent 2-block scheme).
-    pool.parallel_for(static_cast<std::size_t>(ne), [&](std::size_t e) {
-      s3[e] = std::max(0.0, cap[e] - z_sum[e] - l3[e] / rho);
-    });
-
-    // ---- z-update: exact per-edge minimizer (block 2, uses fresh x, s3).
-    // The per-edge quadratic has Hessian rho*(I + 1 1ᵀ); by Sherman-Morrison,
-    // with a_p = f_p + l4_p/rho - l3/rho + cap - s3, the minimizer is
-    // z_p = a_p - S with S = (sum_p a_p) / (n + 1). z is unbounded, so this
-    // block minimization is exact — important for ADMM convergence.
+    // ---- Coupled link-level block, fused per edge: s3-update, exact
+    // z-update, l3 dual ascent. The z-update reads x of *other* demands
+    // through the edge incidence list — the coupling that makes this an
+    // edge pass, not a demand shard. Per-edge rows are independent and
+    // deterministic (incidence order is fixed), so any chunking is
+    // bit-identical. The per-edge quadratic has Hessian rho*(I + 1 1ᵀ); by
+    // Sherman-Morrison, with a_p = f_p + l4_p/rho - l3/rho + cap - s3, the
+    // minimizer is z_p = a_p - S with S = (sum_p a_p) / (n + 1). z is
+    // unbounded, so this block minimization is exact — important for ADMM
+    // convergence.
     pool.parallel_chunks(static_cast<std::size_t>(ne), [&](std::size_t b, std::size_t e_) {
       for (std::size_t ei = b; ei < e_; ++ei) {
+        s3[ei] = std::max(0.0, cap[ei] - z_sum[ei] - l3[ei] / rho);
         const auto& incs = edge_incidence_[ei];
-        if (incs.empty()) continue;
-        const double offset = -l3[ei] / rho + cap[ei] - s3[ei];
-        double a_sum = 0.0;
-        for (const auto& inc : incs) {
-          auto zi = static_cast<std::size_t>(inc.z_index);
-          const double f =
-              x[static_cast<std::size_t>(inc.path)] *
-              vol[static_cast<std::size_t>(pb_.demand_of_path(inc.path))];
-          // Stash a_p in z temporarily.
-          z[zi] = f + l4[zi] / rho + offset;
-          a_sum += z[zi];
+        if (!incs.empty()) {
+          const double offset = -l3[ei] / rho + cap[ei] - s3[ei];
+          double a_sum = 0.0;
+          for (const auto& inc : incs) {
+            auto zi = static_cast<std::size_t>(inc.z_index);
+            const double f =
+                x[static_cast<std::size_t>(inc.path)] *
+                vol[static_cast<std::size_t>(pb_.demand_of_path(inc.path))];
+            // Stash a_p in z temporarily.
+            z[zi] = f + l4[zi] / rho + offset;
+            a_sum += z[zi];
+          }
+          const double S = a_sum / (static_cast<double>(incs.size()) + 1.0);
+          for (const auto& inc : incs) {
+            z[static_cast<std::size_t>(inc.z_index)] -= S;
+          }
+          z_sum[ei] = a_sum - static_cast<double>(incs.size()) * S;
         }
-        const double S = a_sum / (static_cast<double>(incs.size()) + 1.0);
-        for (const auto& inc : incs) {
-          z[static_cast<std::size_t>(inc.z_index)] -= S;
-        }
-        z_sum[ei] = a_sum - static_cast<double>(incs.size()) * S;
+        l3[ei] += rho * (z_sum[ei] + s3[ei] - cap[ei]);
       }
     });
 
-    // ---- s1-update (block 2, uses fresh x).
-    pool.parallel_for(static_cast<std::size_t>(nd), [&](std::size_t d) {
-      s1[d] = std::max(0.0, 1.0 - x_sum[d] - l1[d] / rho);
-    });
-
-    // ---- dual ascent.
-    pool.parallel_for(static_cast<std::size_t>(nd), [&](std::size_t d) {
-      l1[d] += rho * (x_sum[d] + s1[d] - 1.0);
-    });
-    pool.parallel_for(static_cast<std::size_t>(ne), [&](std::size_t e) {
-      l3[e] += rho * (z_sum[e] + s3[e] - cap[e]);
-    });
-    pool.parallel_chunks(static_cast<std::size_t>(np), [&](std::size_t b, std::size_t e_) {
-      for (std::size_t p = b; p < e_; ++p) {
-        const double f =
-            x[p] * vol[static_cast<std::size_t>(pb_.demand_of_path(static_cast<int>(p)))];
-        for (int zi = z_offset_[p]; zi < z_offset_[p + 1]; ++zi) {
-          l4[static_cast<std::size_t>(zi)] += rho * (f - z[static_cast<std::size_t>(zi)]);
+    // ---- Demand-side block 2 + dual ascent, fused per demand and fanned
+    // over the shards: s1-update, l1 ascent, and the l4 ascent over the
+    // demand's own (contiguous) path/z range.
+    run_sharded(shards, stats, [&](int /*shard*/, int d0, int d1) {
+      for (int d = d0; d < d1; ++d) {
+        const auto di = static_cast<std::size_t>(d);
+        s1[di] = std::max(0.0, 1.0 - x_sum[di] - l1[di] / rho);
+        l1[di] += rho * (x_sum[di] + s1[di] - 1.0);
+        for (int p = pb_.path_begin(d); p < pb_.path_end(d); ++p) {
+          const auto ps = static_cast<std::size_t>(p);
+          const double f = x[ps] * vol[di];
+          for (int zi = z_offset_[ps]; zi < z_offset_[ps + 1]; ++zi) {
+            l4[static_cast<std::size_t>(zi)] += rho * (f - z[static_cast<std::size_t>(zi)]);
+          }
         }
       }
     });
@@ -221,16 +230,20 @@ Admm::Residuals Admm::fine_tune(const te::TrafficMatrix& tm,
   res.after = violation(x);
   // ADMM iterates are not exactly feasible for the *demand* constraint; clamp
   // the per-demand sums (cheap and local) but keep capacity handling to the
-  // evaluation semantics, as the paper does.
-  for (int d = 0; d < nd; ++d) {
-    auto di = static_cast<std::size_t>(d);
-    if (x_sum[di] > 1.0) {
+  // evaluation semantics, as the paper does. Sharded: each demand's clamp and
+  // split writeback touch only its own path range.
+  a.split.resize(static_cast<std::size_t>(np));
+  run_sharded(shards, stats, [&](int /*shard*/, int d0, int d1) {
+    for (int d = d0; d < d1; ++d) {
+      const auto di = static_cast<std::size_t>(d);
+      const bool over = x_sum[di] > 1.0;
       for (int p = pb_.path_begin(d); p < pb_.path_end(d); ++p) {
-        x[static_cast<std::size_t>(p)] /= x_sum[di];
+        const auto ps = static_cast<std::size_t>(p);
+        if (over) x[ps] /= x_sum[di];
+        a.split[ps] = x[ps];
       }
     }
-  }
-  a.split.assign(x.begin(), x.end());
+  });
   return res;
 }
 

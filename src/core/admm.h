@@ -21,6 +21,7 @@
 
 #include <vector>
 
+#include "core/shard.h"
 #include "te/problem.h"
 
 namespace teal::core {
@@ -61,8 +62,21 @@ class Admm {
     std::vector<double> load;               // per-edge load (violation check)
   };
 
+  // Auto demand-shard plan (core::auto_shard_count).
   Residuals fine_tune(const te::TrafficMatrix& tm, const std::vector<double>& capacities,
                       te::Allocation& a, Workspace& ws) const;
+
+  // Demand-sharded fine-tune. The per-demand stages — the F-update
+  // (coordinate descent over [demand_begin, demand_end)), the s1/l1 updates
+  // and the l4 dual ascent over the demands' path ranges — fan out over
+  // `shards`; the coupled link-level stages (per-edge s3/z/l3, which read
+  // paths of *other* demands through the edge incidence lists) run as
+  // per-edge pool passes, and the residual reductions run sequentially on
+  // the calling thread. The resulting allocation is bit-identical for every
+  // shard plan (tests/shard_test.cpp).
+  Residuals fine_tune(const te::TrafficMatrix& tm, const std::vector<double>& capacities,
+                      te::Allocation& a, Workspace& ws, const ShardPlan& shards,
+                      ShardStat* stats = nullptr) const;
 
   // Convenience overload allocating a throwaway workspace.
   Residuals fine_tune(const te::TrafficMatrix& tm, const std::vector<double>& capacities,

@@ -8,19 +8,6 @@
 
 namespace teal::core {
 
-namespace {
-
-// Column-wise concat [a | b] -> out.
-void concat_cols(const nn::Mat& a, const nn::Mat& b, nn::Mat& out) {
-  out.resize(a.rows(), a.cols() + b.cols());
-  for (int r = 0; r < a.rows(); ++r) {
-    std::copy(a.row_ptr(r), a.row_ptr(r) + a.cols(), out.row_ptr(r));
-    std::copy(b.row_ptr(r), b.row_ptr(r) + b.cols(), out.row_ptr(r) + a.cols());
-  }
-}
-
-}  // namespace
-
 FlowGnn::FlowGnn(const FlowGnnConfig& cfg, int k_paths, util::Rng& rng)
     : cfg_(cfg), k_paths_(k_paths) {
   if (cfg.n_blocks < 1) throw std::invalid_argument("FlowGnn: n_blocks < 1");
@@ -54,51 +41,34 @@ void widen_into(const nn::Mat& m, const nn::Mat& feat0, int target, nn::Mat& out
     for (int c = m.cols(); c < target; ++c) out.at(r, c) = feat0.at(r, 0);
   }
 }
+
+// Row body of widen_into for sharded callers; `out` must be pre-sized.
+inline void widen_row(const nn::Mat& m, const nn::Mat& feat0, int r, nn::Mat& out) {
+  const int target = out.cols();
+  std::copy(m.row_ptr(r), m.row_ptr(r) + m.cols(), out.row_ptr(r));
+  for (int c = m.cols(); c < target; ++c) out.at(r, c) = feat0.at(r, 0);
+}
+
+// Mean over a neighbor list into one pre-sized output row. Accumulation
+// order follows the list, so any row partition is bit-identical.
+template <typename List>
+inline void mean_gather_row(const nn::Mat& src, const List& neighbors, double* out, int d) {
+  for (int c = 0; c < d; ++c) out[c] = 0.0;
+  if (neighbors.empty()) return;
+  for (auto n : neighbors) {
+    const double* nr = src.row_ptr(static_cast<int>(n));
+    for (int c = 0; c < d; ++c) out[c] += nr[c];
+  }
+  const double inv = 1.0 / static_cast<double>(neighbors.size());
+  for (int c = 0; c < d; ++c) out[c] *= inv;
+}
+
+// Concat row body: out row r = [a row r | b row r]; `out` pre-sized.
+inline void concat_row(const nn::Mat& a, const nn::Mat& b, int r, nn::Mat& out) {
+  std::copy(a.row_ptr(r), a.row_ptr(r) + a.cols(), out.row_ptr(r));
+  std::copy(b.row_ptr(r), b.row_ptr(r) + b.cols(), out.row_ptr(r) + a.cols());
+}
 }  // namespace
-
-void FlowGnn::aggregate_paths_to_edges(const te::Problem& pb, const nn::Mat& paths,
-                                       nn::Mat& agg) const {
-  const int ne = pb.graph().num_edges();
-  const int d = paths.cols();
-  agg.resize(ne, d);
-  agg.zero();
-  util::ThreadPool::global().parallel_chunks(
-      static_cast<std::size_t>(ne), [&](std::size_t b, std::size_t e) {
-        for (std::size_t ei = b; ei < e; ++ei) {
-          const auto& ps = pb.paths_on_edge(static_cast<topo::EdgeId>(ei));
-          if (ps.empty()) continue;
-          double* out = agg.row_ptr(static_cast<int>(ei));
-          for (int p : ps) {
-            const double* pr = paths.row_ptr(p);
-            for (int c = 0; c < d; ++c) out[c] += pr[c];
-          }
-          const double inv = 1.0 / static_cast<double>(ps.size());
-          for (int c = 0; c < d; ++c) out[c] *= inv;
-        }
-      });
-}
-
-void FlowGnn::aggregate_edges_to_paths(const te::Problem& pb, const nn::Mat& edges,
-                                       nn::Mat& agg) const {
-  const int np = pb.total_paths();
-  const int d = edges.cols();
-  agg.resize(np, d);
-  agg.zero();
-  util::ThreadPool::global().parallel_chunks(
-      static_cast<std::size_t>(np), [&](std::size_t b, std::size_t e) {
-        for (std::size_t pi = b; pi < e; ++pi) {
-          const auto& es = pb.path_edges(static_cast<int>(pi));
-          if (es.empty()) continue;
-          double* out = agg.row_ptr(static_cast<int>(pi));
-          for (topo::EdgeId ei : es) {
-            const double* er = edges.row_ptr(ei);
-            for (int c = 0; c < d; ++c) out[c] += er[c];
-          }
-          const double inv = 1.0 / static_cast<double>(es.size());
-          for (int c = 0; c < d; ++c) out[c] *= inv;
-        }
-      });
-}
 
 void FlowGnn::scatter_grad_edges_from_paths(const te::Problem& pb, const nn::Mat& g_agg,
                                             nn::Mat& g_paths) const {
@@ -139,8 +109,89 @@ void FlowGnn::scatter_grad_paths_from_edges(const te::Problem& pb, const nn::Mat
       });
 }
 
+void FlowGnn::edge_pass_rows(const te::Problem& pb, Forward& fwd, int l, int e_begin,
+                             int e_end) const {
+  // Fused edge side of block l for rows [e_begin, e_end): bipartite
+  // aggregation gather (the coupled link-level step — it reads *all* path
+  // rows of the block input, which is why blocks need a barrier), concat,
+  // dense update, activation and widening toward the next block. Every
+  // write lands in this slice's rows only.
+  auto& blk = fwd.blocks[static_cast<std::size_t>(l)];
+  const int d = dims_[static_cast<std::size_t>(l)];
+  const auto& lin = edge_linear_[static_cast<std::size_t>(l)];
+  const bool last = l + 1 >= cfg_.n_blocks;
+  nn::Mat* next_in = last ? nullptr : &fwd.blocks[static_cast<std::size_t>(l) + 1].edge_in;
+  for (int e = e_begin; e < e_end; ++e) {
+    mean_gather_row(blk.path_in, pb.paths_on_edge(static_cast<topo::EdgeId>(e)),
+                    fwd.agg_e.row_ptr(e), d);
+    concat_row(blk.edge_in, fwd.agg_e, e, blk.edge_cat);
+  }
+  lin.forward_rows(blk.edge_cat, blk.edge_pre, e_begin, e_end);
+  nn::leaky_relu_forward_rows(blk.edge_pre, blk.edge_act, e_begin, e_end, cfg_.leaky_alpha);
+  if (next_in != nullptr) {
+    for (int e = e_begin; e < e_end; ++e) widen_row(blk.edge_act, fwd.edge_feat0, e, *next_in);
+  }
+}
+
+void FlowGnn::demand_pass_rows(const te::Problem& pb, Forward& fwd, int l, int d_begin,
+                               int d_end) const {
+  // Fused demand side of block l for demands [d_begin, d_end): per-path
+  // aggregation/dense update, then the per-demand DNN layer, then widening
+  // (or the final-embedding copy). Paths of a demand are contiguous, so the
+  // slice touches only its own rows of every matrix.
+  auto& blk = fwd.blocks[static_cast<std::size_t>(l)];
+  const int d = dims_[static_cast<std::size_t>(l)];
+  const int k = k_paths_;
+  const auto& p_lin = path_linear_[static_cast<std::size_t>(l)];
+  const auto& dnn_lin = dnn_linear_[static_cast<std::size_t>(l)];
+  const bool last = l + 1 >= cfg_.n_blocks;
+  nn::Mat* next_in = last ? nullptr : &fwd.blocks[static_cast<std::size_t>(l) + 1].path_in;
+  if (d_begin >= d_end) return;
+  // The slice's paths are contiguous (demands own contiguous path ranges),
+  // so every dense kernel runs once over the whole slice.
+  const int p_begin = pb.path_begin(d_begin);
+  const int p_end = pb.path_end(d_end - 1);
+  // --- GNN layer, path side.
+  for (int p = p_begin; p < p_end; ++p) {
+    mean_gather_row(blk.edge_in, pb.path_edges(p), fwd.agg_p.row_ptr(p), d);
+    concat_row(blk.path_in, fwd.agg_p, p, blk.path_cat);
+  }
+  p_lin.forward_rows(blk.path_cat, blk.path_pre, p_begin, p_end);
+  nn::leaky_relu_forward_rows(blk.path_pre, blk.path_act, p_begin, p_end, cfg_.leaky_alpha);
+  // --- DNN layer: coordinate the k paths of each demand. Demands with
+  // fewer than k paths keep zero padding in their trailing slots.
+  for (int dem = d_begin; dem < d_end; ++dem) {
+    double* row = blk.dnn_in.row_ptr(dem);
+    std::fill(row, row + k * d, 0.0);
+    int slot = 0;
+    for (int p = pb.path_begin(dem); p < pb.path_end(dem); ++p, ++slot) {
+      std::copy(blk.path_act.row_ptr(p), blk.path_act.row_ptr(p) + d, row + slot * d);
+    }
+  }
+  dnn_lin.forward_rows(blk.dnn_in, blk.dnn_pre, d_begin, d_end);
+  nn::leaky_relu_forward_rows(blk.dnn_pre, fwd.dnn_act, d_begin, d_end, cfg_.leaky_alpha);
+  for (int dem = d_begin; dem < d_end; ++dem) {
+    const double* act = fwd.dnn_act.row_ptr(dem);
+    int slot = 0;
+    for (int p = pb.path_begin(dem); p < pb.path_end(dem); ++p, ++slot) {
+      std::copy(act + slot * d, act + (slot + 1) * d, blk.path_out.row_ptr(p));
+    }
+  }
+  // --- Widen toward the next block's dimension, refilled with the
+  // initialization value (§4), or copy out the final embeddings.
+  for (int p = p_begin; p < p_end; ++p) {
+    if (next_in != nullptr) {
+      widen_row(blk.path_out, fwd.path_feat0, p, *next_in);
+    } else {
+      std::copy(blk.path_out.row_ptr(p), blk.path_out.row_ptr(p) + d,
+                fwd.final_paths.row_ptr(p));
+    }
+  }
+}
+
 void FlowGnn::forward(const te::Problem& pb, const te::TrafficMatrix& tm,
-                      const std::vector<double>* capacities, Forward& fwd) const {
+                      const std::vector<double>* capacities, Forward& fwd,
+                      const ShardPlan& shards, ShardStat* stats) const {
   const int ne = pb.graph().num_edges();
   const int np = pb.total_paths();
   const int nd = pb.num_demands();
@@ -149,7 +200,9 @@ void FlowGnn::forward(const te::Problem& pb, const te::TrafficMatrix& tm,
   fwd.blocks.resize(static_cast<std::size_t>(cfg_.n_blocks));
 
   // Initial 1-dim features, normalized by the mean link capacity so both
-  // entities live on comparable scales (§3.2).
+  // entities live on comparable scales (§3.2). The mean is a cross-demand
+  // reduction, computed sequentially so every shard plan sees identical
+  // bits.
   if (capacities == nullptr) {
     pb.capacities_into(fwd.caps);
     capacities = &fwd.caps;
@@ -173,50 +226,49 @@ void FlowGnn::forward(const te::Problem& pb, const te::TrafficMatrix& tm,
     auto& blk = fwd.blocks[static_cast<std::size_t>(l)];
     const int d = dims_[static_cast<std::size_t>(l)];
 
-    // --- GNN layer: synchronous bipartite message passing.
-    aggregate_paths_to_edges(pb, blk.path_in, fwd.agg_e);
-    aggregate_edges_to_paths(pb, blk.edge_in, fwd.agg_p);
-    concat_cols(blk.edge_in, fwd.agg_e, blk.edge_cat);
-    concat_cols(blk.path_in, fwd.agg_p, blk.path_cat);
-    edge_linear_[static_cast<std::size_t>(l)].forward(blk.edge_cat, blk.edge_pre);
-    path_linear_[static_cast<std::size_t>(l)].forward(blk.path_cat, blk.path_pre);
-    nn::leaky_relu_forward(blk.edge_pre, blk.edge_act, cfg_.leaky_alpha);
-    nn::leaky_relu_forward(blk.path_pre, blk.path_act, cfg_.leaky_alpha);
-
-    // --- DNN layer: coordinate the k paths of each demand. Demands with
-    // fewer than k paths keep zero padding in their trailing slots.
+    // Size every buffer of the block before fanning out — Mat::resize must
+    // never run concurrently, and pre-sizing keeps warm passes
+    // allocation-free exactly as before.
+    fwd.agg_e.resize(ne, d);
+    fwd.agg_p.resize(np, d);
+    blk.edge_cat.resize(ne, 2 * d);
+    blk.path_cat.resize(np, 2 * d);
+    blk.edge_pre.resize(ne, d);
+    blk.path_pre.resize(np, d);
+    blk.edge_act.resize(ne, d);
+    blk.path_act.resize(np, d);
     blk.dnn_in.resize(nd, k * d);
-    blk.dnn_in.zero();
-    for (int dem = 0; dem < nd; ++dem) {
-      double* row = blk.dnn_in.row_ptr(dem);
-      int slot = 0;
-      for (int p = pb.path_begin(dem); p < pb.path_end(dem); ++p, ++slot) {
-        std::copy(blk.path_act.row_ptr(p), blk.path_act.row_ptr(p) + d, row + slot * d);
-      }
-    }
-    dnn_linear_[static_cast<std::size_t>(l)].forward(blk.dnn_in, blk.dnn_pre);
-    nn::leaky_relu_forward(blk.dnn_pre, fwd.dnn_act, cfg_.leaky_alpha);
+    blk.dnn_pre.resize(nd, k * d);
+    fwd.dnn_act.resize(nd, k * d);
     blk.path_out.resize(np, d);
-    for (int dem = 0; dem < nd; ++dem) {
-      const double* row = fwd.dnn_act.row_ptr(dem);
-      int slot = 0;
-      for (int p = pb.path_begin(dem); p < pb.path_end(dem); ++p, ++slot) {
-        std::copy(row + slot * d, row + (slot + 1) * d, blk.path_out.row_ptr(p));
-      }
-    }
-
-    // --- Widen toward the next block's dimension, refilled with the
-    // initialization value (§4). Written straight into the next block's
-    // inputs so every buffer stays put across repeated forward passes.
     if (l + 1 < cfg_.n_blocks) {
       const int next = dims_[static_cast<std::size_t>(l) + 1];
       auto& nxt = fwd.blocks[static_cast<std::size_t>(l) + 1];
-      widen_into(blk.edge_act, fwd.edge_feat0, next, nxt.edge_in);
-      widen_into(blk.path_out, fwd.path_feat0, next, nxt.path_in);
+      nxt.edge_in.resize(ne, next);
+      nxt.path_in.resize(np, next);
     } else {
-      fwd.final_paths = blk.path_out;
+      fwd.final_paths.resize(np, d);
     }
+
+    // Edge pass (coupled link-level step): parallel over edge rows through
+    // the pool — deterministic per row, so identical under any chunking.
+    util::ThreadPool::global().parallel_chunks(
+        static_cast<std::size_t>(ne), [&](std::size_t b, std::size_t e) {
+          edge_pass_rows(pb, fwd, l, static_cast<int>(b), static_cast<int>(e));
+        });
+    // Demand pass: fanned over the shard plan, each shard writing its own
+    // demand slice of the shared workspace.
+    run_sharded(shards, stats, [&](int /*shard*/, int d0, int d1) {
+      demand_pass_rows(pb, fwd, l, d0, d1);
+    });
   }
+}
+
+void FlowGnn::forward(const te::Problem& pb, const te::TrafficMatrix& tm,
+                      const std::vector<double>* capacities, Forward& fwd) const {
+  forward(pb, tm, capacities, fwd,
+          ShardPlan::make(pb.num_demands(),
+                          auto_shard_count(pb.num_demands(), pb.total_paths())));
 }
 
 FlowGnn::Forward FlowGnn::forward(const te::Problem& pb, const te::TrafficMatrix& tm,

@@ -24,6 +24,7 @@
 
 #include <vector>
 
+#include "core/shard.h"
 #include "nn/module.h"
 #include "te/problem.h"
 
@@ -75,8 +76,20 @@ class FlowGnn {
   // Runs the GNN over the problem structure with the given per-interval
   // inputs, writing into (and reusing) the caller-owned Forward workspace.
   // `capacities` may override the graph's (link failures, §5.3).
+  // Uses an auto demand-shard plan (core::auto_shard_count).
   void forward(const te::Problem& pb, const te::TrafficMatrix& tm,
                const std::vector<double>* capacities, Forward& fwd) const;
+
+  // Sharded forward. Each block runs as two fused passes: an edge pass
+  // (per-edge aggregation + dense update, the coupled link-level step,
+  // parallelized over edge rows) and a demand pass fanned over `shards` —
+  // each shard runs the whole path/DNN pipeline for its demand slice
+  // [begin, end), writing disjoint rows of the shared Forward workspace.
+  // Results are bit-identical for every shard plan; `stats` (optional,
+  // shards.n_shards entries) accumulates per-shard busy time.
+  void forward(const te::Problem& pb, const te::TrafficMatrix& tm,
+               const std::vector<double>* capacities, Forward& fwd,
+               const ShardPlan& shards, ShardStat* stats = nullptr) const;
 
   // Convenience wrapper allocating a fresh Forward per call.
   Forward forward(const te::Problem& pb, const te::TrafficMatrix& tm,
@@ -95,15 +108,21 @@ class FlowGnn {
   int k_paths() const { return k_paths_; }
 
  private:
-  // Message passing helpers (agg = mean over bipartite neighbors).
-  void aggregate_paths_to_edges(const te::Problem& pb, const nn::Mat& paths,
-                                nn::Mat& agg) const;
-  void aggregate_edges_to_paths(const te::Problem& pb, const nn::Mat& edges,
-                                nn::Mat& agg) const;
+  // Fused per-row passes of one block (see forward): the edge pass covers
+  // edge rows [e_begin, e_end), the demand pass covers demands
+  // [d_begin, d_end) — aggregation gather, concat, dense update, activation
+  // and widening for the slice, all reading only buffers stable during the
+  // block.
+  void edge_pass_rows(const te::Problem& pb, Forward& fwd, int l, int e_begin,
+                      int e_end) const;
+  void demand_pass_rows(const te::Problem& pb, Forward& fwd, int l, int d_begin,
+                        int d_end) const;
+
+  // Backward message-passing transposes.
   void scatter_grad_edges_from_paths(const te::Problem& pb, const nn::Mat& g_agg,
-                                     nn::Mat& g_edges) const;
-  void scatter_grad_paths_from_edges(const te::Problem& pb, const nn::Mat& g_agg,
                                      nn::Mat& g_paths) const;
+  void scatter_grad_paths_from_edges(const te::Problem& pb, const nn::Mat& g_agg,
+                                     nn::Mat& g_edges) const;
 
   FlowGnnConfig cfg_;
   int k_paths_ = 0;

@@ -8,15 +8,26 @@ TealModel::TealModel(const TealModelConfig& cfg, int k_paths, std::uint64_t seed
       policy_(cfg.policy, k_paths * effective_final_dim(cfg.gnn), k_paths, init_rng_) {}
 
 void TealModel::run_pipeline(const te::Problem& pb, const te::TrafficMatrix& tm,
-                             const std::vector<double>* capacities, Forward& fwd) const {
-  gnn_.forward(pb, tm, capacities, fwd.gnn);
-  build_policy_input(pb, fwd.gnn.final_paths, k_, fwd.policy.input, fwd.mask);
-  policy_.forward(fwd.policy);
+                             const std::vector<double>* capacities, Forward& fwd,
+                             const ShardPlan& shards, ShardStat* stats) const {
+  gnn_.forward(pb, tm, capacities, fwd.gnn, shards, stats);
+  // Size the policy buffers on this thread, then run policy-input assembly
+  // and the policy network as one fused per-demand pass.
+  const int nd = pb.num_demands();
+  fwd.policy.input.resize(nd, k_ * fwd.gnn.final_paths.cols());
+  fwd.mask.resize(nd, k_);
+  policy_.prepare_forward(fwd.policy);
+  run_sharded(shards, stats, [&](int /*shard*/, int d0, int d1) {
+    build_policy_input_rows(pb, fwd.gnn.final_paths, k_, fwd.policy.input, fwd.mask, d0, d1);
+    policy_.forward_rows(fwd.policy, d0, d1);
+  });
 }
 
 void TealModel::forward(const te::Problem& pb, const te::TrafficMatrix& tm,
                         const std::vector<double>* capacities, Forward& fwd) const {
-  run_pipeline(pb, tm, capacities, fwd);
+  const int nd = pb.num_demands();
+  run_pipeline(pb, tm, capacities, fwd,
+               ShardPlan::make(nd, auto_shard_count(nd, pb.total_paths())));
   fwd.logits = fwd.policy.logits;
 }
 
@@ -55,6 +66,14 @@ ModelForward TealModel::forward_m(const te::Problem& pb, const te::TrafficMatrix
 
 void TealModel::forward_ws(const te::Problem& pb, const te::TrafficMatrix& tm,
                            const std::vector<double>* capacities, ModelForward& out) const {
+  const int nd = pb.num_demands();
+  forward_ws(pb, tm, capacities, out,
+             ShardPlan::make(nd, auto_shard_count(nd, pb.total_paths())));
+}
+
+void TealModel::forward_ws(const te::Problem& pb, const te::TrafficMatrix& tm,
+                           const std::vector<double>* capacities, ModelForward& out,
+                           const ShardPlan& shards, ShardStat* stats) const {
   // A shared cache (use_count > 1) must not be overwritten in place — another
   // ModelForward may still need it for backward_m. Start fresh instead.
   if (out.owner != this || out.cache == nullptr || out.cache.use_count() != 1) {
@@ -64,7 +83,7 @@ void TealModel::forward_ws(const te::Problem& pb, const te::TrafficMatrix& tm,
   auto* typed = static_cast<Forward*>(out.cache.get());
   // run_pipeline (not forward) to skip the typed-API Forward::logits copy:
   // the solve path reads logits from the ModelForward only.
-  run_pipeline(pb, tm, capacities, *typed);
+  run_pipeline(pb, tm, capacities, *typed, shards, stats);
   out.logits = typed->policy.logits;  // capacity-reusing copies
   out.mask = typed->mask;
 }
@@ -88,11 +107,17 @@ te::Allocation allocation_from_splits(const te::Problem& pb, const nn::Mat& spli
 
 void allocation_from_splits_into(const te::Problem& pb, const nn::Mat& splits,
                                  te::Allocation& a) {
-  a.split.assign(static_cast<std::size_t>(pb.total_paths()), 0.0);
-  for (int d = 0; d < pb.num_demands(); ++d) {
+  a.split.resize(static_cast<std::size_t>(pb.total_paths()));
+  allocation_from_splits_rows(pb, splits, a, 0, pb.num_demands());
+}
+
+void allocation_from_splits_rows(const te::Problem& pb, const nn::Mat& splits,
+                                 te::Allocation& a, int d_begin, int d_end) {
+  for (int d = d_begin; d < d_end; ++d) {
     int slot = 0;
-    for (int p = pb.path_begin(d); p < pb.path_end(d) && slot < splits.cols(); ++p, ++slot) {
-      a.split[static_cast<std::size_t>(p)] = splits.at(d, slot);
+    for (int p = pb.path_begin(d); p < pb.path_end(d); ++p, ++slot) {
+      a.split[static_cast<std::size_t>(p)] =
+          slot < splits.cols() ? splits.at(d, slot) : 0.0;
     }
   }
 }

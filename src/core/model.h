@@ -51,6 +51,16 @@ class Model {
     fwd = forward_m(pb, tm, capacities);
   }
 
+  // Demand-sharded workspace forward: per-demand stages fan out over
+  // `shards`, writing disjoint rows of `fwd`. Results must be bit-identical
+  // for every shard plan. Default ignores the plan — the Figure 14 ablation
+  // variants have no per-demand decomposition to shard.
+  virtual void forward_ws(const te::Problem& pb, const te::TrafficMatrix& tm,
+                          const std::vector<double>* capacities, ModelForward& fwd,
+                          const ShardPlan& /*shards*/, ShardStat* /*stats*/ = nullptr) const {
+    forward_ws(pb, tm, capacities, fwd);
+  }
+
   void save(const std::string& path) { nn::save_params(path, params()); }
   bool load(const std::string& path) { return nn::load_params(path, params()); }
 };
@@ -86,6 +96,9 @@ class TealModel : public Model {
                          const std::vector<double>* capacities = nullptr) const override;
   void forward_ws(const te::Problem& pb, const te::TrafficMatrix& tm,
                   const std::vector<double>* capacities, ModelForward& fwd) const override;
+  void forward_ws(const te::Problem& pb, const te::TrafficMatrix& tm,
+                  const std::vector<double>* capacities, ModelForward& fwd,
+                  const ShardPlan& shards, ShardStat* stats = nullptr) const override;
   void backward_m(const te::Problem& pb, const ModelForward& fwd,
                   const nn::Mat& grad_logits) override;
   std::vector<nn::Param*> params() override;
@@ -96,8 +109,11 @@ class TealModel : public Model {
  private:
   // Shared pipeline body; leaves Forward::logits (the typed-API alias of
   // policy.logits) unset so forward_ws can skip that copy on the hot path.
+  // The FlowGNN demand passes, the policy-input assembly and the policy
+  // forward all fan out over `shards`.
   void run_pipeline(const te::Problem& pb, const te::TrafficMatrix& tm,
-                    const std::vector<double>* capacities, Forward& fwd) const;
+                    const std::vector<double>* capacities, Forward& fwd,
+                    const ShardPlan& shards, ShardStat* stats = nullptr) const;
 
   TealModelConfig cfg_;
   int k_;
@@ -117,5 +133,10 @@ te::Allocation allocation_from_splits(const te::Problem& pb, const nn::Mat& spli
 // Same, into a caller-owned Allocation (capacity reused on warm calls).
 void allocation_from_splits_into(const te::Problem& pb, const nn::Mat& splits,
                                  te::Allocation& a);
+
+// Row-range variant for sharded callers: writes the split entries of demands
+// [d_begin, d_end) only; `a.split` must be pre-sized to total_paths().
+void allocation_from_splits_rows(const te::Problem& pb, const nn::Mat& splits,
+                                 te::Allocation& a, int d_begin, int d_end);
 
 }  // namespace teal::core

@@ -28,6 +28,28 @@ void PolicyNet::forward(Forward& fwd) const {
   out_.forward(*cur, fwd.logits);
 }
 
+void PolicyNet::prepare_forward(Forward& fwd) const {
+  const int n = fwd.input.rows();
+  fwd.pre.resize(hidden_.size());
+  fwd.act.resize(hidden_.size());
+  for (std::size_t i = 0; i < hidden_.size(); ++i) {
+    fwd.pre[i].resize(n, hidden_[i].out_features());
+    fwd.act[i].resize(n, hidden_[i].out_features());
+  }
+  fwd.logits.resize(n, out_.out_features());
+}
+
+void PolicyNet::forward_rows(Forward& fwd, int row_begin, int row_end) const {
+  const nn::Mat* cur = &fwd.input;
+  for (std::size_t i = 0; i < hidden_.size(); ++i) {
+    hidden_[i].forward_rows(*cur, fwd.pre[i], row_begin, row_end);
+    nn::leaky_relu_forward_rows(fwd.pre[i], fwd.act[i], row_begin, row_end,
+                                cfg_.leaky_alpha);
+    cur = &fwd.act[i];
+  }
+  out_.forward_rows(*cur, fwd.logits, row_begin, row_end);
+}
+
 PolicyNet::Forward PolicyNet::forward(const nn::Mat& input) const {
   Forward fwd;
   fwd.input = input;
@@ -63,16 +85,23 @@ void build_policy_input(const te::Problem& pb, const nn::Mat& path_embeddings, i
   const int nd = pb.num_demands();
   const int dim = path_embeddings.cols();
   input.resize(nd, k * dim);
-  input.zero();
   mask.resize(nd, k);
-  mask.zero();
-  for (int d = 0; d < nd; ++d) {
+  build_policy_input_rows(pb, path_embeddings, k, input, mask, 0, nd);
+}
+
+void build_policy_input_rows(const te::Problem& pb, const nn::Mat& path_embeddings, int k,
+                             nn::Mat& input, nn::Mat& mask, int d_begin, int d_end) {
+  const int dim = path_embeddings.cols();
+  for (int d = d_begin; d < d_end; ++d) {
     double* row = input.row_ptr(d);
+    std::fill(row, row + static_cast<std::size_t>(k) * dim, 0.0);
+    double* mrow = mask.row_ptr(d);
+    std::fill(mrow, mrow + k, 0.0);
     int slot = 0;
     for (int p = pb.path_begin(d); p < pb.path_end(d) && slot < k; ++p, ++slot) {
       std::copy(path_embeddings.row_ptr(p), path_embeddings.row_ptr(p) + dim,
                 row + slot * dim);
-      mask.at(d, slot) = 1.0;
+      mrow[slot] = 1.0;
     }
   }
 }

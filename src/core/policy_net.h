@@ -40,6 +40,14 @@ class PolicyNet {
   // build_policy_input), writes pre/act/logits. Allocation-free once warm.
   void forward(Forward& fwd) const;
 
+  // Demand-sharded pair: prepare_forward() sizes pre/act/logits for the
+  // (already filled-shape) fwd.input — it must run on one thread before the
+  // fan-out, since nn::Mat::resize is not concurrency-safe — then each shard
+  // runs forward_rows() on its own demand slice, touching only those rows.
+  // Bit-identical to forward() for any row partition.
+  void prepare_forward(Forward& fwd) const;
+  void forward_rows(Forward& fwd, int row_begin, int row_end) const;
+
   // `input` rows are per-demand concatenated path embeddings (zero-padded for
   // demands with fewer than k paths). Allocates a fresh Forward per call.
   Forward forward(const nn::Mat& input) const;
@@ -63,6 +71,11 @@ class PolicyNet {
 // the (D, k) validity mask (1 where the demand has an i-th path).
 void build_policy_input(const te::Problem& pb, const nn::Mat& path_embeddings, int k,
                         nn::Mat& input, nn::Mat& mask);
+
+// Row-range variant for sharded callers: fills demand rows [d_begin, d_end)
+// of `input`/`mask`, which must be pre-sized to (D, k*dim) and (D, k).
+void build_policy_input_rows(const te::Problem& pb, const nn::Mat& path_embeddings, int k,
+                             nn::Mat& input, nn::Mat& mask, int d_begin, int d_end);
 
 // Scatters d(loss)/d(policy input) back into a (N_p, dim) path-embedding grad.
 void scatter_policy_input_grad(const te::Problem& pb, const nn::Mat& grad_input, int k,

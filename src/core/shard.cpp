@@ -1,0 +1,39 @@
+#include "core/shard.h"
+
+namespace teal::core {
+
+ShardPlan ShardPlan::make(int n_items, int n_shards) {
+  ShardPlan p;
+  p.n_items = std::max(0, n_items);
+  if (p.n_items == 0) {
+    p.n_shards = 1;
+    p.chunk = 0;
+    return p;
+  }
+  const int target = std::clamp(n_shards, 1, p.n_items);
+  const util::ChunkPlan cp = util::chunk_plan(static_cast<std::size_t>(p.n_items),
+                                              static_cast<std::size_t>(target));
+  p.chunk = static_cast<int>(cp.chunk);
+  p.n_shards = static_cast<int>(cp.n_chunks);
+  return p;
+}
+
+int auto_shard_count(int n_demands, int total_paths, std::size_t available_threads) {
+  if (available_threads <= 1 || n_demands <= 1) return 1;
+  // Each sharded stage pays one fork-join barrier (~µs); per-path arithmetic
+  // is the work unit that must amortize it. 256 paths/shard keeps the
+  // barrier under ~5% of a stage on the small bundled topologies and is
+  // negligible at ASN scale (tens of thousands of paths).
+  constexpr int kMinPathsPerShard = 256;
+  const int by_work = std::max(1, total_paths / kMinPathsPerShard);
+  const int cap = static_cast<int>(std::min<std::size_t>(
+      available_threads, static_cast<std::size_t>(n_demands)));
+  return std::clamp(by_work, 1, cap);
+}
+
+int auto_shard_count(int n_demands, int total_paths) {
+  return auto_shard_count(n_demands, total_paths,
+                          util::ThreadPool::available_parallelism());
+}
+
+}  // namespace teal::core

@@ -1,0 +1,104 @@
+// shard.h — intra-solve demand sharding (the third parallelism axis).
+//
+// Teal's compute decomposes *per demand*: the FlowGNN DNN layer, the policy
+// network, the masked softmax and the ADMM F-update all operate on one demand
+// (or its contiguous path range) at a time — the property that makes the
+// paper's pipeline GPU-friendly. solve_batch exploits parallelism only
+// *across* traffic matrices; a ShardPlan exploits it *within* one solve by
+// splitting the demand index space into contiguous ranges, one per shard,
+// fanned out over the thread pool. Sharding cuts the latency of a single
+// huge solve, which batching by construction cannot.
+//
+// Bit-identity contract: every sharded stage writes disjoint rows whose
+// values depend only on read-only inputs, and every cross-demand reduction
+// (mean capacity, ADMM residuals, per-edge load) runs sequentially on the
+// calling thread — so the allocation is byte-identical for every shard
+// count, including 1 (verified by tests/shard_test.cpp). The shard count is
+// purely a latency knob.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace teal::core {
+
+// Contiguous division of the demand index space [0, n_items) into at most
+// n_shards non-empty ranges; shard s covers [begin(s), end(s)). Demands map
+// to contiguous global path ranges (te::Problem), so a demand shard is also
+// a path-row shard.
+struct ShardPlan {
+  int n_items = 0;
+  int n_shards = 1;
+  int chunk = 0;  // items per shard (ceil division)
+
+  // Clamps n_shards into [1, max(1, n_items)] and drops empty trailing
+  // shards (delegates to util::chunk_plan, so shard boundaries follow the
+  // pool's own chunking policy).
+  static ShardPlan make(int n_items, int n_shards);
+  static ShardPlan sequential(int n_items) { return make(n_items, 1); }
+
+  int begin(int s) const { return std::min(n_items, s * chunk); }
+  int end(int s) const { return std::min(n_items, (s + 1) * chunk); }
+  bool sharded() const { return n_shards > 1; }
+
+  bool operator==(const ShardPlan& o) const {
+    return n_items == o.n_items && n_shards == o.n_shards && chunk == o.chunk;
+  }
+};
+
+// Per-shard accounting, cache-line aligned so concurrent shards never
+// false-share while updating their own entry. Lives in SolveWorkspace
+// (one entry per shard) and feeds the load-balance columns of
+// bench_shard_scaling.
+struct alignas(64) ShardStat {
+  double busy_seconds = 0.0;  // time this shard spent inside sharded stages
+  std::uint64_t stages = 0;   // sharded stages this shard executed
+
+  void reset() { *this = ShardStat{}; }
+};
+
+// Cost model for the auto shard count (the 0 value of the te::Scheme shard
+// knob): a shard must carry enough per-demand work — measured in paths, the
+// unit the hot loops iterate — to amortize the fork-join barrier each
+// sharded stage pays, and there is no point exceeding the threads actually
+// available to a new fork-join region from this thread
+// (util::ThreadPool::available_parallelism(), which is 1 when the caller
+// already holds a pool slot — so nested auto-sharded solves degrade to
+// sequential instead of oversubscribing).
+int auto_shard_count(int n_demands, int total_paths, std::size_t available_threads);
+
+// Convenience: cost model against the calling thread's current context.
+int auto_shard_count(int n_demands, int total_paths);
+
+// Runs `fn(shard, item_begin, item_end)` for every shard of `plan`, fanned
+// out over the global thread pool (inline when the plan is sequential or the
+// caller already holds a pool slot). Blocks until every shard completed.
+// When `stats` is non-null it must have plan.n_shards entries; each shard
+// accumulates its wall time and stage count into its own cache line.
+template <typename Fn>
+void run_sharded(const ShardPlan& plan, ShardStat* stats, Fn&& fn) {
+  auto run_one = [&](int s) {
+    if (stats != nullptr) {
+      util::Timer t;
+      fn(s, plan.begin(s), plan.end(s));
+      stats[s].busy_seconds += t.seconds();
+      ++stats[s].stages;
+    } else {
+      fn(s, plan.begin(s), plan.end(s));
+    }
+  };
+  if (!plan.sharded()) {
+    run_one(0);
+    return;
+  }
+  util::ThreadPool::global().parallel_chunks(
+      static_cast<std::size_t>(plan.n_shards), [&](std::size_t b, std::size_t e) {
+        for (std::size_t s = b; s < e; ++s) run_one(static_cast<int>(s));
+      });
+}
+
+}  // namespace teal::core

@@ -18,6 +18,7 @@
 
 #include "core/admm.h"
 #include "core/model.h"
+#include "core/shard.h"
 
 namespace teal::core {
 
@@ -26,6 +27,24 @@ struct SolveWorkspace {
   ModelForward fwd;          // model forward caches (owner-tagged)
   nn::Mat splits;            // (D, k) masked-softmax split ratios
   Admm::Workspace admm;      // ADMM primal/dual state
+
+  // Intra-solve demand sharding state: the plan the last solve ran with and
+  // one cache-line-aligned accounting slot per shard (busy seconds / stage
+  // counts — the load-balance telemetry bench_shard_scaling reports).
+  // Shards write only their own slot, so they never false-share; everything
+  // else they touch is disjoint *rows* of the matrices above.
+  ShardPlan plan;
+  std::vector<ShardStat> shard_stats;
+
+  // Sizes and zeroes the per-shard scratch for a solve under `p`. Reuses the
+  // vector's capacity, so warm solves with a stable plan allocate nothing.
+  void prepare_shards(const ShardPlan& p) {
+    plan = p;
+    if (shard_stats.size() < static_cast<std::size_t>(p.n_shards)) {
+      shard_stats.resize(static_cast<std::size_t>(p.n_shards));
+    }
+    for (auto& s : shard_stats) s.reset();
+  }
 
   void clear() { *this = SolveWorkspace{}; }
 };

@@ -27,16 +27,32 @@ TealScheme::TealScheme(const te::Problem& pb, std::unique_ptr<Model> model,
     : model_(std::move(model)), cfg_(cfg), admm_(pb, make_admm_config(pb, cfg)),
       name_(std::move(name)) {}
 
+ShardPlan TealScheme::plan_shards(const te::Problem& pb, int shard_count) const {
+  const int nd = pb.num_demands();
+  const int n = shard_count != 0 ? shard_count
+                                 : auto_shard_count(nd, pb.total_paths());
+  return ShardPlan::make(nd, n);
+}
+
 void TealScheme::solve_with(SolveWorkspace& ws, const te::Problem& pb,
                             const te::TrafficMatrix& tm, te::Allocation& out,
-                            double* seconds_out) const {
+                            double* seconds_out, int shard_count) const {
   util::Timer timer;
+  const ShardPlan plan = plan_shards(pb, shard_count);
+  ws.prepare_shards(plan);
+  ShardStat* stats = ws.shard_stats.data();
   pb.capacities_into(ws.caps);
-  model_->forward_ws(pb, tm, &ws.caps, ws.fwd);
-  nn::softmax_rows(ws.fwd.logits, ws.fwd.mask, ws.splits);
-  allocation_from_splits_into(pb, ws.splits, out);
+  model_->forward_ws(pb, tm, &ws.caps, ws.fwd, plan, stats);
+  // Masked softmax + allocation writeback, fused per demand slice (sized on
+  // this thread first — resize must not run under the fan-out).
+  ws.splits.resize(ws.fwd.logits.rows(), ws.fwd.logits.cols());
+  out.split.resize(static_cast<std::size_t>(pb.total_paths()));
+  run_sharded(plan, stats, [&](int /*shard*/, int d0, int d1) {
+    nn::softmax_rows_range(ws.fwd.logits, ws.fwd.mask, ws.splits, d0, d1);
+    allocation_from_splits_rows(pb, ws.splits, out, d0, d1);
+  });
   if (cfg_.use_admm) {
-    admm_.fine_tune(tm, ws.caps, out, ws.admm);
+    admm_.fine_tune(tm, ws.caps, out, ws.admm, plan, stats);
   }
   if (seconds_out != nullptr) *seconds_out = timer.seconds();
 }
@@ -49,21 +65,32 @@ te::Allocation TealScheme::solve(const te::Problem& pb, const te::TrafficMatrix&
 
 void TealScheme::solve_into(const te::Problem& pb, const te::TrafficMatrix& tm,
                             te::Allocation& out) {
-  solve_with(ws_, pb, tm, out, &last_seconds_);
+  solve_with(ws_, pb, tm, out, &last_seconds_, shard_count_);
 }
 
 te::BatchSolve TealScheme::solve_batch(const te::Problem& pb,
                                        std::span<const te::TrafficMatrix> tms) {
   auto& pool = util::ThreadPool::global();
-  // Contiguous chunks, one persistent workspace per chunk; the calling
-  // thread works chunk 0 with the scheme's own workspace while the pool
-  // workers take the rest. Falls back to the base-class sequential loop when
-  // there is nothing to fan out (or when already inside a pool worker, where
-  // nested fan-out would deadlock).
   const std::size_t n_threads = pool.size() + 1;  // workers + caller
+  // Composition cost model for the two parallelism axes. With two or more
+  // matrices, across-matrix fan-out solves up to n_threads of them
+  // concurrently (batch wall ≈ one solve-time) — a sequential loop of
+  // sharded solves would need shard speedup > tms.size() to beat that, and
+  // shard speedup is sublinear (fork-join barriers; ~1.5-2x at 4 shards on
+  // the shard_scaling ledger), so the batch axis wins. A *single* matrix is
+  // the case batching cannot touch: the sequential fallback below runs it
+  // through solve_into(), where the shard knob fans its demand slices over
+  // the otherwise-idle pool. Inside a pool worker (or inline scope) nested
+  // fan-out of either axis is impossible and the fallback runs fully
+  // sequential.
   if (std::min(tms.size(), n_threads) <= 1 || util::ThreadPool::in_pool_worker()) {
     return te::Scheme::solve_batch(pb, tms);
   }
+  // Across-matrix fan-out: contiguous chunks, one persistent workspace per
+  // chunk; the calling thread works chunk 0 with the scheme's own workspace
+  // while the pool workers take the rest. Every solve runs with one shard
+  // and inline kernels — the batch already owns all the threads, so
+  // intra-solve fan-out would only oversubscribe.
   util::Timer wall;
   te::BatchSolve out;
   out.allocs.resize(tms.size());
@@ -77,7 +104,8 @@ te::BatchSolve TealScheme::solve_batch(const te::Problem& pb,
     const std::size_t end = std::min(tms.size(), begin + plan.chunk);
     futs.push_back(pool.submit([this, &pb, tms, &out, c, begin, end] {
       for (std::size_t t = begin; t < end; ++t) {
-        solve_with(batch_ws_[c - 1], pb, tms[t], out.allocs[t], &out.solve_seconds[t]);
+        solve_with(batch_ws_[c - 1], pb, tms[t], out.allocs[t], &out.solve_seconds[t],
+                   /*shard_count=*/1);
       }
     }));
   }
@@ -85,8 +113,10 @@ te::BatchSolve TealScheme::solve_batch(const te::Problem& pb,
   // worker writes into it. Collect the first error and rethrow after.
   std::exception_ptr error;
   try {
+    util::ThreadPool::ScopedInline inline_kernels;  // chunk 0 stays on this thread
     for (std::size_t t = 0; t < std::min(tms.size(), plan.chunk); ++t) {
-      solve_with(ws_, pb, tms[t], out.allocs[t], &out.solve_seconds[t]);
+      solve_with(ws_, pb, tms[t], out.allocs[t], &out.solve_seconds[t],
+                 /*shard_count=*/1);
     }
   } catch (...) {
     error = std::current_exception();

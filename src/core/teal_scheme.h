@@ -9,7 +9,10 @@
 // Every solve runs through a SolveWorkspace, so repeated solves on the same
 // problem are allocation-free, and solve_batch() fans independent matrices
 // out across the thread pool with one workspace per worker — the CPU
-// equivalent of the paper's GPU batch parallelism.
+// equivalent of the paper's GPU batch parallelism. A single solve can in
+// turn shard its per-demand stages across the pool (core::ShardPlan, the
+// GPU's *intra*-matrix data parallelism), bit-identically to the
+// sequential path; solve_batch composes the two axes by a cost model.
 #pragma once
 
 #include <optional>
@@ -50,15 +53,29 @@ class TealScheme : public te::Scheme {
   void solve_into(const te::Problem& pb, const te::TrafficMatrix& tm,
                   te::Allocation& out) override;
   // Fans the batch out over ThreadPool::global() with one persistent
-  // workspace per worker. Results are identical to a sequential solve() loop
-  // (workspaces share no mutable state); only the timing differs — see the
-  // BatchSolve timing-semantics note in te/scheme.h for how the per-solve
-  // seconds relate to last_solve_seconds().
+  // workspace per worker (each solve sequential within its worker). A
+  // single-matrix batch instead runs through solve_into(), where the shard
+  // knob fans the solve's demand slices over the otherwise-idle pool — the
+  // axis-composition cost model (DESIGN.md "Parallelism model"). Results
+  // are identical to a sequential solve() loop either way (workspaces share
+  // no mutable state); only the timing differs — see the BatchSolve
+  // timing-semantics note in te/scheme.h for how the per-solve seconds
+  // relate to last_solve_seconds().
   te::BatchSolve solve_batch(const te::Problem& pb,
                              std::span<const te::TrafficMatrix> tms) override;
   double last_solve_seconds() const override { return last_seconds_; }
   bool has_warm_state() const override { return true; }
   bool supports_parallel_batch() const override { return true; }
+
+  // Intra-solve demand sharding (core::ShardPlan): every per-demand stage —
+  // the FlowGNN demand passes, policy-input assembly, policy forward,
+  // masked softmax, allocation writeback and the ADMM F-update/dual stages
+  // — fans its demand slice out over the thread pool; coupled link-level
+  // stages run as per-edge passes and reductions stay sequential, so the
+  // allocation is bit-identical for every shard count (tests/shard_test).
+  bool supports_demand_sharding() const override { return true; }
+  void set_shard_count(int n) override { shard_count_ = n; }
+  int shard_count() const override { return shard_count_; }
 
   // Thread-safe replica entry point for the serving layer: one solve through
   // a caller-owned workspace. Distinct workspaces share no mutable state and
@@ -66,10 +83,16 @@ class TealScheme : public te::Scheme {
   // is the same contract solve_batch() relies on, exposed so serve::Server
   // can keep one persistent workspace per replica over a single shared
   // scheme. Does not touch last_solve_seconds(); per-solve time is reported
-  // through `seconds_out`.
+  // through `seconds_out`. `shard_count` follows the set_shard_count()
+  // convention (0 = auto) but defaults to 1: a replica's outer parallelism
+  // is across replicas, so its inner solve stays sequential unless the
+  // serving cost model (serve::pick_replica_shards) grants it pool threads.
+  // After the call `ws.plan` / `ws.shard_stats` hold the executed plan and
+  // per-shard load-balance accounting.
   void solve_replica(SolveWorkspace& ws, const te::Problem& pb, const te::TrafficMatrix& tm,
-                     te::Allocation& out, double* seconds_out = nullptr) const {
-    solve_with(ws, pb, tm, out, seconds_out);
+                     te::Allocation& out, double* seconds_out = nullptr,
+                     int shard_count = 1) const {
+    solve_with(ws, pb, tm, out, seconds_out, shard_count);
   }
 
   Model& model() { return *model_; }
@@ -82,14 +105,20 @@ class TealScheme : public te::Scheme {
  private:
   // One solve through an explicit workspace; thread-safe across distinct
   // workspaces. Also records per-solve seconds into `seconds_out` if given.
+  // `shard_count` follows the knob convention (0 = auto cost model).
   void solve_with(SolveWorkspace& ws, const te::Problem& pb, const te::TrafficMatrix& tm,
-                  te::Allocation& out, double* seconds_out) const;
+                  te::Allocation& out, double* seconds_out, int shard_count) const;
+
+  // Resolves a shard-count request against the problem and the calling
+  // thread's available parallelism.
+  ShardPlan plan_shards(const te::Problem& pb, int shard_count) const;
 
   std::unique_ptr<Model> model_;
   TealSchemeConfig cfg_;
   Admm admm_;
   std::string name_;
   double last_seconds_ = 0.0;
+  int shard_count_ = 0;                 // 0 = auto (see set_shard_count)
   SolveWorkspace ws_;                   // solve()/solve_into() workspace
   std::vector<SolveWorkspace> batch_ws_;  // one per batch worker, lazily grown
 };

@@ -24,21 +24,38 @@ void for_rows(int n, F&& body) {
 }
 }  // namespace
 
+namespace {
+// Shared row body of linear_forward / linear_forward_rows: identical
+// arithmetic keeps full and row-range calls bit-identical.
+inline void linear_row(const Mat& x, const Mat& w, const std::vector<double>& b, Mat& y,
+                       int r) {
+  const int in = x.cols(), out = w.rows();
+  const double* xr = x.row_ptr(r);
+  double* yr = y.row_ptr(r);
+  for (int o = 0; o < out; ++o) {
+    const double* wr = w.row_ptr(o);
+    double acc = b[static_cast<std::size_t>(o)];
+    for (int i = 0; i < in; ++i) acc += xr[i] * wr[i];
+    yr[o] = acc;
+  }
+}
+}  // namespace
+
 void linear_forward(const Mat& x, const Mat& w, const std::vector<double>& b, Mat& y) {
   const int n = x.rows(), in = x.cols(), out = w.rows();
   if (w.cols() != in) throw std::invalid_argument("linear_forward: shape mismatch");
   if (static_cast<int>(b.size()) != out) throw std::invalid_argument("linear_forward: bias");
   y.resize(n, out);
-  for_rows(n, [&](int r) {
-    const double* xr = x.row_ptr(r);
-    double* yr = y.row_ptr(r);
-    for (int o = 0; o < out; ++o) {
-      const double* wr = w.row_ptr(o);
-      double acc = b[static_cast<std::size_t>(o)];
-      for (int i = 0; i < in; ++i) acc += xr[i] * wr[i];
-      yr[o] = acc;
-    }
-  });
+  for_rows(n, [&](int r) { linear_row(x, w, b, y, r); });
+}
+
+void linear_forward_rows(const Mat& x, const Mat& w, const std::vector<double>& b, Mat& y,
+                         int row_begin, int row_end) {
+  if (w.cols() != x.cols()) throw std::invalid_argument("linear_forward_rows: shape");
+  if (y.rows() != x.rows() || y.cols() != w.rows()) {
+    throw std::invalid_argument("linear_forward_rows: y must be pre-sized");
+  }
+  for (int r = row_begin; r < row_end; ++r) linear_row(x, w, b, y, r);
 }
 
 void linear_backward(const Mat& x, const Mat& w, const Mat& gy, Mat& gx, Mat& gw,
@@ -82,6 +99,17 @@ void leaky_relu_forward(const Mat& x, Mat& y, double alpha) {
   }
 }
 
+void leaky_relu_forward_rows(const Mat& x, Mat& y, int row_begin, int row_end,
+                             double alpha) {
+  if (!y.same_shape(x)) throw std::invalid_argument("leaky_relu_forward_rows: y shape");
+  const int c = x.cols();
+  for (int r = row_begin; r < row_end; ++r) {
+    const double* xr = x.row_ptr(r);
+    double* yr = y.row_ptr(r);
+    for (int i = 0; i < c; ++i) yr[i] = xr[i] >= 0.0 ? xr[i] : alpha * xr[i];
+  }
+}
+
 void leaky_relu_backward(const Mat& x_pre, const Mat& gy, Mat& gx, double alpha) {
   gx.resize(x_pre.rows(), x_pre.cols());
   const auto& xs = x_pre.data();
@@ -92,30 +120,45 @@ void leaky_relu_backward(const Mat& x_pre, const Mat& gy, Mat& gx, double alpha)
   }
 }
 
+namespace {
+inline void softmax_row(const Mat& logits, const Mat& mask, Mat& probs, bool has_mask,
+                        int r) {
+  const int k = logits.cols();
+  const double* lr = logits.row_ptr(r);
+  double* pr = probs.row_ptr(r);
+  double mx = -1e300;
+  for (int c = 0; c < k; ++c) {
+    if (!has_mask || mask.at(r, c) != 0.0) mx = std::max(mx, lr[c]);
+  }
+  double denom = 0.0;
+  for (int c = 0; c < k; ++c) {
+    if (!has_mask || mask.at(r, c) != 0.0) {
+      pr[c] = std::exp(lr[c] - mx);
+      denom += pr[c];
+    } else {
+      pr[c] = 0.0;
+    }
+  }
+  if (denom > 0.0) {
+    for (int c = 0; c < k; ++c) pr[c] /= denom;
+  }
+}
+}  // namespace
+
 void softmax_rows(const Mat& logits, const Mat& mask, Mat& probs) {
   const int n = logits.rows(), k = logits.cols();
   const bool has_mask = !mask.empty();
   probs.resize(n, k);
-  for_rows(n, [&](int r) {
-    const double* lr = logits.row_ptr(r);
-    double* pr = probs.row_ptr(r);
-    double mx = -1e300;
-    for (int c = 0; c < k; ++c) {
-      if (!has_mask || mask.at(r, c) != 0.0) mx = std::max(mx, lr[c]);
-    }
-    double denom = 0.0;
-    for (int c = 0; c < k; ++c) {
-      if (!has_mask || mask.at(r, c) != 0.0) {
-        pr[c] = std::exp(lr[c] - mx);
-        denom += pr[c];
-      } else {
-        pr[c] = 0.0;
-      }
-    }
-    if (denom > 0.0) {
-      for (int c = 0; c < k; ++c) pr[c] /= denom;
-    }
-  });
+  for_rows(n, [&](int r) { softmax_row(logits, mask, probs, has_mask, r); });
+}
+
+void softmax_rows_range(const Mat& logits, const Mat& mask, Mat& probs, int row_begin,
+                        int row_end) {
+  if (!probs.same_shape(logits)) {
+    throw std::invalid_argument("softmax_rows_range: probs must be pre-sized");
+  }
+  const bool has_mask = !mask.empty();
+  for (int r = row_begin; r < row_end; ++r) softmax_row(logits, mask, probs, has_mask, r);
 }
 
 void softmax_rows_backward(const Mat& probs, const Mat& gy, Mat& gx) {

@@ -86,6 +86,19 @@ void leaky_relu_backward(const Mat& x_pre, const Mat& gy, Mat& gx, double alpha 
 // mask may be empty (= all valid).
 void softmax_rows(const Mat& logits, const Mat& mask, Mat& probs);
 
+// Row-range variants for demand-sharded callers (core::ShardPlan): compute
+// only rows [row_begin, row_end) and require the output pre-sized by the
+// caller — Mat::resize must never run concurrently. The per-row arithmetic
+// is byte-for-byte the full kernel's, so any row partition produces
+// bit-identical results (the shard-count invariance tests/shard_test.cpp
+// verifies end to end).
+void linear_forward_rows(const Mat& x, const Mat& w, const std::vector<double>& b, Mat& y,
+                         int row_begin, int row_end);
+void leaky_relu_forward_rows(const Mat& x, Mat& y, int row_begin, int row_end,
+                             double alpha = 0.01);
+void softmax_rows_range(const Mat& logits, const Mat& mask, Mat& probs, int row_begin,
+                        int row_end);
+
 // Backward of row-wise softmax: gx(r,.) = (diag(p) - p pᵀ) gy(r,.).
 void softmax_rows_backward(const Mat& probs, const Mat& gy, Mat& gx);
 

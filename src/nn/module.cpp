@@ -19,6 +19,10 @@ void Linear::forward(const Mat& x, Mat& y) const {
   linear_forward(x, weight_.w, bias_.w.data(), y);
 }
 
+void Linear::forward_rows(const Mat& x, Mat& y, int row_begin, int row_end) const {
+  linear_forward_rows(x, weight_.w, bias_.w.data(), y, row_begin, row_end);
+}
+
 void Linear::backward(const Mat& x, const Mat& gy, Mat& gx) {
   linear_backward(x, weight_.w, gy, gx, weight_.g, bias_.g.data());
 }

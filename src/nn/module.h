@@ -33,6 +33,9 @@ class Linear {
 
   // y = x Wᵀ + b; caches nothing (callers keep x for backward).
   void forward(const Mat& x, Mat& y) const;
+  // Row-range forward for demand-sharded callers; `y` must be pre-sized to
+  // (x.rows(), out_features()). Bit-identical to forward() per row.
+  void forward_rows(const Mat& x, Mat& y, int row_begin, int row_end) const;
   // Accumulates parameter grads and writes input grad.
   void backward(const Mat& x, const Mat& gy, Mat& gx);
 

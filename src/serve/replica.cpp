@@ -2,21 +2,38 @@
 
 #include <stdexcept>
 
+#include "util/thread_pool.h"
+
 namespace teal::serve {
 
 namespace {
 
 class WorkspaceReplica final : public Replica {
  public:
-  explicit WorkspaceReplica(const core::TealScheme& scheme) : scheme_(scheme) {}
+  WorkspaceReplica(const core::TealScheme& scheme, std::size_t n_replicas, int shard_count)
+      : scheme_(scheme), n_replicas_(n_replicas), shards_(shard_count) {}
 
   void solve(const te::Problem& pb, const te::TrafficMatrix& tm, te::Allocation& out,
              double* seconds) override {
-    scheme_.solve_replica(ws_, pb, tm, out, seconds);
+    // Auto mode resolves against the problem on first use (the cost model
+    // needs the demand/path counts, which make_replicas never sees).
+    if (shards_ == 0) {
+      shards_ = pick_replica_shards(n_replicas_, pb.num_demands(), pb.total_paths());
+    }
+    if (shards_ == 1) {
+      // Sequential inner solve: hold the inline scope so N replicas' kernels
+      // never fan out on top of each other (the pre-sharding serving shape).
+      util::ThreadPool::ScopedInline inline_kernels;
+      scheme_.solve_replica(ws_, pb, tm, out, seconds, /*shard_count=*/1);
+    } else {
+      scheme_.solve_replica(ws_, pb, tm, out, seconds, shards_);
+    }
   }
 
  private:
   const core::TealScheme& scheme_;
+  std::size_t n_replicas_;
+  int shards_;               // 0 until resolved, then the fixed per-solve count
   core::SolveWorkspace ws_;  // warm after the first request
 };
 
@@ -26,6 +43,9 @@ class SchemeReplica final : public Replica {
 
   void solve(const te::Problem& pb, const te::TrafficMatrix& tm, te::Allocation& out,
              double* seconds) override {
+    // One whole scheme per replica; outer parallelism is across replicas, so
+    // its kernels stay on this thread.
+    util::ThreadPool::ScopedInline inline_kernels;
     scheme_->solve_into(pb, tm, out);
     if (seconds != nullptr) *seconds = scheme_->last_solve_seconds();
   }
@@ -36,12 +56,18 @@ class SchemeReplica final : public Replica {
 
 }  // namespace
 
+int pick_replica_shards(std::size_t n_replicas, int n_demands, int total_paths) {
+  if (n_replicas > 1) return 1;
+  return core::auto_shard_count(n_demands, total_paths,
+                                util::ThreadPool::available_parallelism());
+}
+
 std::vector<ReplicaPtr> make_workspace_replicas(const core::TealScheme& scheme,
-                                                std::size_t n) {
+                                                std::size_t n, int shard_count) {
   std::vector<ReplicaPtr> out;
   out.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
-    out.push_back(std::make_unique<WorkspaceReplica>(scheme));
+    out.push_back(std::make_unique<WorkspaceReplica>(scheme, n, shard_count));
   }
   return out;
 }
@@ -57,10 +83,10 @@ std::vector<ReplicaPtr> make_scheme_replicas(const SchemeFactory& factory, std::
 }
 
 std::vector<ReplicaPtr> make_replicas(te::Scheme& scheme, std::size_t n,
-                                      const SchemeFactory& factory) {
+                                      const SchemeFactory& factory, int shard_count) {
   if (scheme.has_warm_state() && scheme.supports_parallel_batch()) {
     if (auto* teal = dynamic_cast<core::TealScheme*>(&scheme)) {
-      return make_workspace_replicas(*teal, n);
+      return make_workspace_replicas(*teal, n, shard_count);
     }
   }
   if (!factory) {

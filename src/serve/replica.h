@@ -31,6 +31,13 @@ class Replica {
   // Solves one request. Called from exactly one serving thread at a time per
   // replica object; different replicas run concurrently. `seconds` (if
   // non-null) receives the solve's own wall time, excluding queue wait.
+  //
+  // Thread-composition contract: the replica owns the decision whether its
+  // inner kernels run inline (ThreadPool::ScopedInline held for the solve)
+  // or fan out demand shards to the global pool. Sequential replicas must
+  // hold the inline scope so N replicas never oversubscribe the machine;
+  // sharded replicas deliberately leave it off so the shard fan-out can
+  // reach the pool workers.
   virtual void solve(const te::Problem& pb, const te::TrafficMatrix& tm,
                      te::Allocation& out, double* seconds) = 0;
 };
@@ -42,9 +49,24 @@ using ReplicaPtr = std::unique_ptr<Replica>;
 // on different threads).
 using SchemeFactory = std::function<te::SchemePtr()>;
 
+// Serving-side shard cost model: how many demand shards one of `n_replicas`
+// replicas should fan a solve across. Replica parallelism and shard
+// parallelism share the machine, and every shard fan-out runs through the
+// single global pool (whose fork-join regions serialize), so sharding pays
+// only when replicas would otherwise leave threads idle: with more than one
+// replica the answer is 1 (throughput axis already saturates), with a single
+// replica it is the core::auto_shard_count work/threads trade-off — the way
+// a lone replica serving one huge matrix (ASN-scale) cuts its latency.
+int pick_replica_shards(std::size_t n_replicas, int n_demands, int total_paths);
+
 // N workspace replicas over one shared TealScheme. `scheme` must outlive the
-// replicas; its own solve()/solve_batch() state is untouched.
-std::vector<ReplicaPtr> make_workspace_replicas(const core::TealScheme& scheme, std::size_t n);
+// replicas; its own solve()/solve_batch() state is untouched. `shard_count`
+// follows the te::Scheme knob convention: 0 = auto (pick_replica_shards,
+// resolved against the problem on first solve), 1 = sequential inner solve,
+// n = exactly n demand shards per solve. Results are bit-identical for
+// every value.
+std::vector<ReplicaPtr> make_workspace_replicas(const core::TealScheme& scheme, std::size_t n,
+                                                int shard_count = 0);
 
 // N single-scheme replicas from a factory (LP baselines).
 std::vector<ReplicaPtr> make_scheme_replicas(const SchemeFactory& factory, std::size_t n);
@@ -53,7 +75,9 @@ std::vector<ReplicaPtr> make_scheme_replicas(const SchemeFactory& factory, std::
 // keeps warm per-solve state and supports parallel batching (TealScheme),
 // otherwise one instance per replica via `factory`. Throws
 // std::invalid_argument when the scheme needs a factory and none was given.
+// `shard_count` applies to workspace replicas only (see above; 0 = auto).
 std::vector<ReplicaPtr> make_replicas(te::Scheme& scheme, std::size_t n,
-                                      const SchemeFactory& factory = nullptr);
+                                      const SchemeFactory& factory = nullptr,
+                                      int shard_count = 0);
 
 }  // namespace teal::serve

@@ -71,9 +71,10 @@ bool Server::submit(const te::TrafficMatrix& tm, te::Allocation& out) {
 void Server::replica_loop(std::size_t index) {
   util::set_current_thread_name("teal-serve", index);
   if (cfg_.pin_replicas) util::pin_current_thread(index);
-  // Outer parallelism is across replicas; every kernel a solve enters must
-  // run sequentially on this thread (see the header note).
-  util::ThreadPool::ScopedInline inline_kernels;
+  // Thread composition is the replica's own business (Replica::solve holds
+  // ThreadPool::ScopedInline for sequential solves, or fans demand shards
+  // out to the pool when the serving cost model granted it threads) — the
+  // loop itself imposes nothing.
   ReplicaLocal& self = locals_[index];
   Request req;
   while (queue_.pop(req)) {

@@ -22,9 +22,12 @@
 //
 // Concurrency: each replica owns its solver state (serve/replica.h) and its
 // own stats block, so the only shared mutable structures are the queue and
-// the completion counter. Replicas hold a ThreadPool::ScopedInline for their
-// lifetime — outer parallelism is across replicas; inner kernels run
-// per-thread-sequential, exactly like solve_batch's fan-out.
+// the completion counter. Thread composition is decided per replica
+// (serve/replica.h): sequential replicas hold a ThreadPool::ScopedInline for
+// each solve — outer parallelism across replicas, inner kernels
+// per-thread-sequential, like solve_batch's fan-out — while a lone replica
+// may instead fan demand shards out to the pool (serve::pick_replica_shards)
+// to cut single-request latency.
 #pragma once
 
 #include <atomic>

@@ -43,6 +43,13 @@ struct OnlineConfig {
   double interval_seconds = 300.0;
   double time_scale = 1.0;
   te::Objective objective = te::Objective::kTotalFlow;
+  // Demand-shard knob applied to sharding-capable schemes for the duration
+  // of the run_online() call (te::Scheme::set_shard_count convention; the
+  // scheme's own setting is restored afterwards): 0 leaves it untouched
+  // (auto by default for Teal — solve_batch composes the batch and shard
+  // axes itself: multi-matrix traces run as across-matrix fan-out with
+  // sequential inners, a single-matrix trace as one sharded solve).
+  int shard_count = 0;
 };
 
 struct IntervalResult {

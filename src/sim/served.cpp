@@ -35,7 +35,9 @@ ServedResult run_served(const te::Problem& pb, const traffic::Trace& trace,
 ServedResult run_served(te::Scheme& scheme, const te::Problem& pb,
                         const traffic::Trace& trace, const ServedConfig& cfg,
                         const serve::SchemeFactory& factory) {
-  return run_served(pb, trace, serve::make_replicas(scheme, cfg.n_replicas, factory), cfg);
+  return run_served(
+      pb, trace,
+      serve::make_replicas(scheme, cfg.n_replicas, factory, cfg.shard_count), cfg);
 }
 
 }  // namespace teal::sim

@@ -23,6 +23,11 @@ struct ServedConfig {
   std::size_t n_replicas = 1;
   // Open-loop spacing between request arrivals. 0 = burst (no pacing).
   double arrival_interval_seconds = 0.0;
+  // Demand shards per replica solve (workspace replicas only): 0 = auto via
+  // the serving cost model (serve::pick_replica_shards — shards engage only
+  // when a lone replica would leave pool threads idle), 1 = sequential,
+  // n = exact. Bit-identical results for every value; latency-only knob.
+  int shard_count = 0;
   serve::ServeConfig serve;
 };
 

@@ -88,6 +88,21 @@ class Scheme {
   // that would really start (no wasted work).
   virtual bool supports_parallel_batch() const { return false; }
 
+  // True when the scheme can parallelize a *single* solve across demand
+  // shards (core::ShardPlan). Orthogonal to supports_parallel_batch:
+  // batching raises throughput across matrices, sharding cuts the latency
+  // of one solve on one huge matrix. Sharded results must be bit-identical
+  // to the sequential solve for every shard count.
+  virtual bool supports_demand_sharding() const { return false; }
+
+  // Shard-count knob for demand-sharding schemes: 0 = auto (the
+  // core::auto_shard_count cost model against the threads available to the
+  // calling context), 1 = sequential, n = exactly n shards (clamped to the
+  // demand count). A pure latency knob — results never change. Default:
+  // ignored by schemes without sharding support.
+  virtual void set_shard_count(int /*n*/) {}
+  virtual int shard_count() const { return 1; }
+
   // Called when link capacities change (failures §5.3). Default: nothing —
   // most schemes read capacities from the Problem on each solve.
   virtual void on_topology_change(const Problem& /*pb*/) {}

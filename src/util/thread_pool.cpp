@@ -1,6 +1,7 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "util/thread_name.h"
 
@@ -17,6 +18,12 @@ thread_local bool t_inline_scope = false;
 
 bool ThreadPool::in_pool_worker() {
   return t_in_pool_worker || t_in_region_chunk || t_inline_scope;
+}
+
+std::size_t ThreadPool::available_parallelism() {
+  if (in_pool_worker()) return 1;
+  const std::size_t hw = std::max(1u, std::thread::hardware_concurrency());
+  return std::min(global().size() + 1, hw);  // workers + caller, capped by hw
 }
 
 ThreadPool::ScopedInline::ScopedInline() : prev_(t_inline_scope) { t_inline_scope = true; }
@@ -136,7 +143,16 @@ void ThreadPool::run_region(std::size_t n, RegionThunk thunk, void* ctx) {
 }
 
 ThreadPool& ThreadPool::global() {
-  static ThreadPool pool;
+  // TEAL_POOL_THREADS overrides the hardware-sized default. Raising it above
+  // the core count buys no speedup, but it lets single-core machines (and
+  // race detectors there) exercise the real cross-thread fan-out paths.
+  static ThreadPool pool([] {
+    if (const char* env = std::getenv("TEAL_POOL_THREADS")) {
+      const long n = std::strtol(env, nullptr, 10);
+      if (n > 0) return static_cast<std::size_t>(n);
+    }
+    return std::size_t{0};  // 0 = hardware concurrency
+  }());
   return pool;
 }
 

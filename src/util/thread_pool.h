@@ -70,12 +70,24 @@ class ThreadPool {
   // execution instead of deadlocking on nested fan-out.
   static bool in_pool_worker();
 
+  // Threads a *new* fork-join region started from the calling thread can
+  // actually use: 1 when the caller already holds a pool slot (a nested
+  // region runs inline), else the hardware thread count (capped by the
+  // global pool's worker count + the participating caller). Shard-count
+  // cost models (core::auto_shard_count) size against this so composed
+  // parallelism — batch workers, serving replicas, intra-solve shards —
+  // never oversubscribes the machine.
+  static std::size_t available_parallelism();
+
   // Marks the calling thread so every parallel region it enters runs inline
   // (sequentially, on this thread) instead of fanning out to the pool.
-  // Serving replicas (serve::Server) hold one for their whole lifetime: the
-  // outer parallelism is across replicas, so inner kernels must stay
-  // per-thread-sequential — the same shape solve_batch() gets implicitly by
-  // running on pool workers. Nests; restores the previous state on exit.
+  // Sequential serving replicas hold one per solve (serve/replica.h; a
+  // sharded replica deliberately leaves it off so its demand shards can
+  // reach the pool), and solve_batch's caller chunk holds one while the
+  // workers own the other matrices: wherever the outer parallelism already
+  // covers the machine, inner kernels must stay per-thread-sequential — the
+  // same shape pool workers get implicitly. Nests; restores the previous
+  // state on exit.
   class ScopedInline {
    public:
     ScopedInline();
@@ -87,9 +99,21 @@ class ThreadPool {
     bool prev_;
   };
 
-  // Enqueues an arbitrary task; returns a future for its result.
+  // Enqueues an arbitrary task; returns a future for its result. Must be
+  // called from a thread that does not already hold a pool slot: a worker
+  // (or inline-scoped thread) that submits and waits can deadlock on
+  // itself, and fire-and-forget submits from inside a fan-out silently
+  // oversubscribe the pool. Throws std::logic_error instead — callers that
+  // might run on a worker check in_pool_worker() first and fall back to
+  // inline execution (TealScheme::solve_batch does exactly this).
   template <typename F>
   auto submit(F&& f) -> std::future<std::invoke_result_t<F>> {
+    if (in_pool_worker()) {
+      throw std::logic_error(
+          "ThreadPool::submit: calling thread already holds a pool slot "
+          "(worker, region chunk, or ScopedInline scope); run the work "
+          "inline instead of nesting fan-out");
+    }
     using R = std::invoke_result_t<F>;
     auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
     std::future<R> fut = task->get_future();
@@ -130,8 +154,10 @@ class ThreadPool {
         &fn);
   }
 
-  // Process-wide pool sized to the hardware. Most callers should use this
-  // instead of constructing their own.
+  // Process-wide pool sized to the hardware (override with env
+  // TEAL_POOL_THREADS, e.g. to exercise the cross-thread fan-out paths on a
+  // single-core machine). Most callers should use this instead of
+  // constructing their own.
   static ThreadPool& global();
 
  private:
