@@ -2,7 +2,10 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
 #include <filesystem>
+#include <fstream>
+#include <iterator>
 
 namespace teal::bench {
 
@@ -144,6 +147,37 @@ double scheme_time_scale(const std::string& scheme, const std::string& topo,
   double paper = paper_seconds(scheme, topo);
   if (paper <= 0.0 || measured_median <= 0.0) return 1.0;
   return paper / measured_median;
+}
+
+std::string ledger_stamp() {
+  char stamp[64] = "unknown";
+  const std::time_t now = std::time(nullptr);
+  if (std::tm* tm = std::localtime(&now)) {
+    std::strftime(stamp, sizeof(stamp), "%Y-%m-%d %H:%M", tm);
+  }
+  return stamp;
+}
+
+bool insert_ledger_entry(const std::string& marker, const std::string& entry) {
+  std::ifstream in("EXPERIMENTS.md");
+  if (!in.good()) {
+    std::printf("  (EXPERIMENTS.md not in cwd; ledger entry skipped — run from the repo root)\n");
+    return false;
+  }
+  std::string text((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  in.close();
+  const std::size_t pos = text.find(marker);
+  if (pos == std::string::npos) {
+    std::printf("  (EXPERIMENTS.md lost the ledger marker '%s'; entry skipped —\n"
+                "   scripts/check_docs.sh will flag this)\n", marker.c_str());
+    return false;
+  }
+  std::string body = entry;
+  while (!body.empty() && body.back() == '\n') body.pop_back();
+  text.insert(pos + marker.size(), body);
+  std::ofstream out("EXPERIMENTS.md", std::ios::trunc);
+  out << text;
+  return true;
 }
 
 void print_header(const std::string& figure, const std::string& caption) {

@@ -24,11 +24,13 @@
 #include "baselines/pop.h"
 #include "baselines/teavar.h"
 #include "core/teal_scheme.h"
+#include "nn/mat.h"
 #include "sim/online.h"
 #include "te/scheme.h"
 #include "topo/topology.h"
 #include "traffic/traffic.h"
 #include "util/csv.h"
+#include "util/rng.h"
 #include "util/stats.h"
 
 namespace teal::bench {
@@ -104,6 +106,26 @@ double paper_seconds(const std::string& scheme, const std::string& topo);
 double scheme_time_scale(const std::string& scheme, const std::string& topo,
                          double measured_median);
 
+// Shared fixture for the Precision/SIMD ledger's batched linear-forward
+// kernel: n rows through a (24 -> 24) dense layer at the pipeline's own
+// shape class. bench_micro_kernels and bench_precision_simd both report this
+// kernel's f64/f32 ratio, so the shape, seed and fill are defined once here
+// — retuning it in one binary cannot silently diverge from the other.
+template <typename T>
+struct LinearKernelFixture {
+  static constexpr int kRows = 20000, kIn = 24, kOut = 24;
+  nn::BasicMat<T> x{kRows, kIn}, w{kOut, kIn}, y{kRows, kOut};
+  std::vector<T> b = std::vector<T>(kOut);
+
+  LinearKernelFixture() {
+    util::Rng rng(3);
+    for (auto& v : x.data()) v = static_cast<T>(rng.normal());
+    for (auto& v : w.data()) v = static_cast<T>(rng.normal());
+    for (auto& v : b) v = static_cast<T>(rng.normal());
+  }
+  void run() { nn::linear_forward_rows(x, w, b, y, 0, kRows); }
+};
+
 // Where bench CSV outputs go (created on demand).
 std::string out_dir();
 
@@ -112,6 +134,17 @@ std::string model_cache_path(const std::string& topo, te::Objective obj);
 
 // True when TEAL_BENCH_FAST=1: tiny sizes for smoke-testing the harness.
 bool fast_mode();
+
+// Inserts `entry` into EXPERIMENTS.md directly below `marker` (newest run
+// first — a blind EOF append would land inside whichever ledger section
+// happens to be last). Prints a notice and returns false when EXPERIMENTS.md
+// is not in the cwd (run from the repo root) or the marker is missing
+// (scripts/check_docs.sh flags that). Shared by every ledger bench so the
+// read/find/insert/rewrite logic exists once.
+bool insert_ledger_entry(const std::string& marker, const std::string& entry);
+
+// "YYYY-MM-DD HH:MM" local-time stamp for ledger entries.
+std::string ledger_stamp();
 
 // Prints a section header so the combined bench log reads like the paper.
 void print_header(const std::string& figure, const std::string& caption);

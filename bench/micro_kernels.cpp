@@ -7,10 +7,13 @@
 // milliseconds, while the LP engine needs thousands of its (cheap) sweeps.
 #include <benchmark/benchmark.h>
 
+#include "bench/common.h"
 #include "core/admm.h"
 #include "core/model.h"
 #include "core/teal_scheme.h"
 #include "lp/path_lp.h"
+#include "nn/mat.h"
+#include "util/rng.h"
 #include "te/objective.h"
 #include "topo/topology.h"
 #include "traffic/traffic.h"
@@ -91,6 +94,49 @@ void BM_TealSolveWarmWorkspace(benchmark::State& state) {
       static_cast<double>(allocs.count()), benchmark::Counter::kAvgIterations);
 }
 BENCHMARK(BM_TealSolveWarmWorkspace)->Unit(benchmark::kMillisecond);
+
+// Batched linear-forward kernel, the hot inner loop of the FlowGNN/policy
+// forward (bench::LinearKernelFixture — the same shape/seed
+// bench_precision_simd ledgers). The f64 variant is the bit-stable
+// reference; the f32 variant is the narrowed inference path that TEAL_SIMD
+// vectorizes — the f64/f32 time ratio here is the kernel-level speedup the
+// EXPERIMENTS.md Precision/SIMD ledger records (target >= 1.5x with
+// TEAL_SIMD=ON on a >= 4-lane-vector machine).
+void BM_LinearForwardBatchedF64(benchmark::State& state) {
+  bench::LinearKernelFixture<double> fx;
+  for (auto _ : state) {
+    fx.run();
+    benchmark::DoNotOptimize(fx.y.data().data());
+  }
+}
+BENCHMARK(BM_LinearForwardBatchedF64)->Unit(benchmark::kMillisecond);
+
+void BM_LinearForwardBatchedF32(benchmark::State& state) {
+  bench::LinearKernelFixture<float> fx;
+  for (auto _ : state) {
+    fx.run();
+    benchmark::DoNotOptimize(fx.y.data().data());
+  }
+  state.counters["simd"] = nn::simd_enabled() ? 1 : 0;
+}
+BENCHMARK(BM_LinearForwardBatchedF32)->Unit(benchmark::kMillisecond);
+
+void BM_TealSolveF32WarmWorkspace(benchmark::State& state) {
+  // The warm workspace solve with the narrowed forward — directly comparable
+  // to BM_TealSolveWarmWorkspace above (same instance, same pipeline, only
+  // the NN precision differs).
+  auto& f = swan();
+  auto scheme = make_untrained_teal(*f.pb);
+  scheme.set_precision(te::Precision::f32);
+  te::Allocation out;
+  scheme.solve_into(*f.pb, f.trace.at(0), out);  // warm up workspace + out
+  for (auto _ : state) {
+    scheme.solve_into(*f.pb, f.trace.at(0), out);
+    benchmark::DoNotOptimize(out.split.data());
+  }
+  state.counters["simd"] = nn::simd_enabled() ? 1 : 0;
+}
+BENCHMARK(BM_TealSolveF32WarmWorkspace)->Unit(benchmark::kMillisecond);
 
 void BM_AdmmFineTune5Iters(benchmark::State& state) {
   auto& f = swan();

@@ -1,0 +1,175 @@
+// precision_simd — f32/SIMD backend sweep: kernel-level speedup of the
+// batched linear forward (f64 scalar reference vs the narrowed f32 path),
+// end-to-end warm-solve latency at both precisions, and the f32-vs-f64
+// flow-allocation error per topology.
+//
+// Not a paper figure: this bench quantifies the repo's own precision knob
+// (te::Scheme::set_precision), the CPU analogue of the paper's fp32 GPU
+// inference. The f64 path is the bit-stable reference under every build
+// flag; only the f32 kernels vectorize under TEAL_SIMD, so the f64/f32
+// kernel ratio reported here is the honest speedup of narrowing + SIMD on
+// this machine (acceptance target >= 1.5x with TEAL_SIMD=ON on a
+// >= 4-lane-vector unit; a scalar build records its own number).
+//
+// Output: a table on stdout, bench_out/precision_simd.csv, and — when run
+// from the repo root — an inserted entry in the EXPERIMENTS.md
+// "Precision/SIMD ledger".
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+#include "nn/mat.h"
+#include "te/objective.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+using namespace teal;
+
+namespace {
+
+double median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  return v.empty() ? 0.0 : v[v.size() / 2];
+}
+
+// Scientific notation for the error columns: the f32-vs-f64 deltas are
+// ~1e-6, invisible in fixed-point.
+std::string sci(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2e", v);
+  return buf;
+}
+
+std::string kernel_shape() {
+  using Fx = bench::LinearKernelFixture<double>;
+  return std::to_string(Fx::kRows) + "x" + std::to_string(Fx::kIn) + " -> " +
+         std::to_string(Fx::kOut);
+}
+
+// Batched linear forward micro-kernel (bench::LinearKernelFixture — the
+// same shape/seed bench_micro_kernels reports).
+template <typename T>
+double time_linear_kernel_ms(int repeats) {
+  bench::LinearKernelFixture<T> fx;
+  fx.run();  // warm-up
+  std::vector<double> ms;
+  ms.reserve(static_cast<std::size_t>(repeats));
+  for (int i = 0; i < repeats; ++i) {
+    util::Timer t;
+    fx.run();
+    ms.push_back(t.seconds() * 1e3);
+  }
+  return median(ms);
+}
+
+struct TopoRow {
+  std::string name;
+  double f64_ms = 0.0;
+  double f32_ms = 0.0;
+  double speedup = 0.0;
+  double max_split_err = 0.0;  // max |split_f64 - split_f32| over all paths
+  double obj_rel_err = 0.0;    // |obj_f64 - obj_f32| / obj_f64
+};
+
+struct KernelResult {
+  double f64_ms = 0.0;
+  double f32_ms = 0.0;
+  double speedup = 0.0;
+};
+
+void append_experiments_ledger(const KernelResult& kern, const std::vector<TopoRow>& rows) {
+  std::string entry;
+  entry += "\n\n### Run " + bench::ledger_stamp();
+  entry += std::string(" — SIMD ") + (nn::simd_enabled() ? "ON" : "OFF") +
+           (bench::fast_mode() ? " (fast mode)" : "") + "\n\n";
+  entry += "Batched linear forward (" + kernel_shape() + "): f64 " +
+           util::fmt(kern.f64_ms, 3) + " ms, f32 " + util::fmt(kern.f32_ms, 3) +
+           " ms, speedup " + util::fmt(kern.speedup, 2) + "x\n\n";
+  entry += "| topology | solve f64 p50 (ms) | solve f32 p50 (ms) | speedup | max split err | objective rel err |\n";
+  entry += "|---|---|---|---|---|---|\n";
+  for (const auto& r : rows) {
+    entry += "| " + r.name + " | " + util::fmt(r.f64_ms, 3) + " | " + util::fmt(r.f32_ms, 3) +
+             " | " + util::fmt(r.speedup, 2) + "x | " + sci(r.max_split_err) + " | " +
+             sci(r.obj_rel_err) + " |\n";
+  }
+  bench::insert_ledger_entry("<!-- bench_precision_simd inserts runs below this line -->",
+                             entry);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Precision/SIMD",
+                      "f32 narrowed forward vs f64 reference: kernel speedup and "
+                      "allocation error");
+  const int repeats = bench::fast_mode() ? 7 : 31;
+
+  KernelResult kern;
+  kern.f64_ms = time_linear_kernel_ms<double>(repeats);
+  kern.f32_ms = time_linear_kernel_ms<float>(repeats);
+  kern.speedup = kern.f32_ms > 0.0 ? kern.f64_ms / kern.f32_ms : 0.0;
+  std::printf("  batched linear forward (%s), SIMD %s:\n"
+              "    f64 %.3f ms   f32 %.3f ms   speedup %.2fx (target >= 1.5x with\n"
+              "    TEAL_SIMD=ON on a >= 4-lane-vector machine)\n",
+              kernel_shape().c_str(), nn::simd_enabled() ? "ON" : "OFF", kern.f64_ms,
+              kern.f32_ms, kern.speedup);
+
+  // End-to-end: untrained Teal (deterministic weights; precision error is a
+  // property of the arithmetic, not the training state) at both precisions.
+  const std::vector<std::string> topos =
+      bench::fast_mode() ? std::vector<std::string>{"B4", "SWAN"}
+                         : std::vector<std::string>{"B4", "SWAN", "UsCarrier", "Kdl", "ASN"};
+  util::Table table({"topology", "f64 p50 ms", "f32 p50 ms", "speedup", "max split err",
+                     "obj rel err"});
+  util::Table csv({"topology", "f64_p50_ms", "f32_p50_ms", "speedup", "max_split_err",
+                   "obj_rel_err", "simd"});
+  std::vector<TopoRow> rows;
+  for (const auto& name : topos) {
+    auto inst = bench::make_instance(name);
+    core::TealScheme scheme(inst->pb,
+                            std::make_unique<core::TealModel>(core::TealModelConfig{},
+                                                              inst->pb.k_paths()),
+                            core::TealSchemeConfig{});
+    const te::TrafficMatrix& tm = inst->split.test.at(0);
+    te::Allocation a64, a32;
+
+    auto time_precision = [&](te::Precision p, te::Allocation& out) {
+      scheme.set_precision(p);
+      scheme.solve_into(inst->pb, tm, out);  // warm-up
+      std::vector<double> ms;
+      ms.reserve(static_cast<std::size_t>(repeats));
+      for (int i = 0; i < repeats; ++i) {
+        scheme.solve_into(inst->pb, tm, out);
+        ms.push_back(scheme.last_solve_seconds() * 1e3);
+      }
+      return median(ms);
+    };
+
+    TopoRow row;
+    row.name = name;
+    row.f64_ms = time_precision(te::Precision::f64, a64);
+    row.f32_ms = time_precision(te::Precision::f32, a32);
+    row.speedup = row.f32_ms > 0.0 ? row.f64_ms / row.f32_ms : 0.0;
+    for (std::size_t i = 0; i < a64.split.size(); ++i) {
+      row.max_split_err = std::max(row.max_split_err, std::abs(a64.split[i] - a32.split[i]));
+    }
+    const double obj64 = te::total_feasible_flow(inst->pb, tm, a64);
+    const double obj32 = te::total_feasible_flow(inst->pb, tm, a32);
+    row.obj_rel_err = obj64 > 0.0 ? std::abs(obj64 - obj32) / obj64 : 0.0;
+    rows.push_back(row);
+    table.add_row({row.name, util::fmt(row.f64_ms, 3), util::fmt(row.f32_ms, 3),
+                   util::fmt(row.speedup, 2), sci(row.max_split_err),
+                   sci(row.obj_rel_err)});
+    csv.add_row({row.name, util::fmt(row.f64_ms, 4), util::fmt(row.f32_ms, 4),
+                 util::fmt(row.speedup, 3), sci(row.max_split_err), sci(row.obj_rel_err),
+                 nn::simd_enabled() ? "1" : "0"});
+  }
+  std::printf("%s", table.to_string().c_str());
+
+  csv.write_csv(bench::out_dir() + "/precision_simd.csv");
+  append_experiments_ledger(kern, rows);
+  return 0;
+}

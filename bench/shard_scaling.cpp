@@ -18,9 +18,6 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
-#include <ctime>
-#include <fstream>
-#include <iterator>
 #include <string>
 #include <thread>
 #include <vector>
@@ -48,33 +45,12 @@ double median(std::vector<double> v) {
   return v.empty() ? 0.0 : v[v.size() / 2];
 }
 
-// Inserts the run below the section's marker line (newest first) instead of
-// appending at EOF — the ledger has sections per bench, and a blind append
-// would land this run inside whichever section happens to be last.
+// Builds the run entry and inserts it below the section's marker line
+// (newest first) via the shared bench::insert_ledger_entry helper.
 void append_experiments_ledger(const std::vector<SweepRow>& rows, int n_demands,
                                std::size_t pool_threads, unsigned hw_threads) {
-  static const char* kMarker = "<!-- bench_shard_scaling inserts runs below this line -->";
-  std::ifstream in("EXPERIMENTS.md");
-  if (!in.good()) {
-    std::printf("  (EXPERIMENTS.md not in cwd; ledger entry skipped — run from the repo root)\n");
-    return;
-  }
-  std::string text((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
-  in.close();
-  const std::size_t pos = text.find(kMarker);
-  if (pos == std::string::npos) {
-    std::printf("  (EXPERIMENTS.md lost the shard ledger marker; entry skipped —\n"
-                "   scripts/check_docs.sh will flag this)\n");
-    return;
-  }
-  char stamp[64] = "unknown";
-  const std::time_t now = std::time(nullptr);
-  if (std::tm* tm = std::localtime(&now)) {
-    std::strftime(stamp, sizeof(stamp), "%Y-%m-%d %H:%M", tm);
-  }
   std::string entry;
-  entry += "\n\n### Run ";
-  entry += stamp;
+  entry += "\n\n### Run " + bench::ledger_stamp();
   entry += " — ASN, " + std::to_string(n_demands) + " demands, pool " +
            std::to_string(pool_threads) + " threads on " + std::to_string(hw_threads) +
            " hardware" + (bench::fast_mode() ? " (fast mode)" : "") + "\n\n" +
@@ -87,10 +63,8 @@ void append_experiments_ledger(const std::vector<SweepRow>& rows, int n_demands,
              "x | " + util::fmt(r.balance, 2) + " | " + (r.identical ? "yes" : "NO") +
              " |\n";
   }
-  if (!entry.empty() && entry.back() == '\n') entry.pop_back();
-  text.insert(pos + std::string(kMarker).size(), entry);
-  std::ofstream out("EXPERIMENTS.md", std::ios::trunc);
-  out << text;
+  bench::insert_ledger_entry("<!-- bench_shard_scaling inserts runs below this line -->",
+                             entry);
 }
 
 }  // namespace

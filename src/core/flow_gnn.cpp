@@ -31,10 +31,24 @@ FlowGnn::FlowGnn(const FlowGnnConfig& cfg, int k_paths, util::Rng& rng)
   }
 }
 
+void FlowGnn::prepare_f32() {
+  edge_f32_.clear();
+  path_f32_.clear();
+  dnn_f32_.clear();
+  edge_f32_.reserve(edge_linear_.size());
+  path_f32_.reserve(path_linear_.size());
+  dnn_f32_.reserve(dnn_linear_.size());
+  for (const auto& l : edge_linear_) edge_f32_.push_back(l.snapshot_f32());
+  for (const auto& l : path_linear_) path_f32_.push_back(l.snapshot_f32());
+  for (const auto& l : dnn_linear_) dnn_f32_.push_back(l.snapshot_f32());
+}
+
 namespace {
 // Widens `m` to `target` columns by appending copies of the 1-dim init
 // feature (§4's expressiveness technique). `out` must not alias `m`.
-void widen_into(const nn::Mat& m, const nn::Mat& feat0, int target, nn::Mat& out) {
+template <typename T>
+void widen_into(const nn::BasicMat<T>& m, const nn::BasicMat<T>& feat0, int target,
+                nn::BasicMat<T>& out) {
   out.resize(m.rows(), target);
   for (int r = 0; r < m.rows(); ++r) {
     std::copy(m.row_ptr(r), m.row_ptr(r) + m.cols(), out.row_ptr(r));
@@ -43,7 +57,9 @@ void widen_into(const nn::Mat& m, const nn::Mat& feat0, int target, nn::Mat& out
 }
 
 // Row body of widen_into for sharded callers; `out` must be pre-sized.
-inline void widen_row(const nn::Mat& m, const nn::Mat& feat0, int r, nn::Mat& out) {
+template <typename T>
+inline void widen_row(const nn::BasicMat<T>& m, const nn::BasicMat<T>& feat0, int r,
+                      nn::BasicMat<T>& out) {
   const int target = out.cols();
   std::copy(m.row_ptr(r), m.row_ptr(r) + m.cols(), out.row_ptr(r));
   for (int c = m.cols(); c < target; ++c) out.at(r, c) = feat0.at(r, 0);
@@ -51,20 +67,23 @@ inline void widen_row(const nn::Mat& m, const nn::Mat& feat0, int r, nn::Mat& ou
 
 // Mean over a neighbor list into one pre-sized output row. Accumulation
 // order follows the list, so any row partition is bit-identical.
-template <typename List>
-inline void mean_gather_row(const nn::Mat& src, const List& neighbors, double* out, int d) {
-  for (int c = 0; c < d; ++c) out[c] = 0.0;
+template <typename T, typename List>
+inline void mean_gather_row(const nn::BasicMat<T>& src, const List& neighbors, T* out,
+                            int d) {
+  for (int c = 0; c < d; ++c) out[c] = T(0);
   if (neighbors.empty()) return;
   for (auto n : neighbors) {
-    const double* nr = src.row_ptr(static_cast<int>(n));
+    const T* nr = src.row_ptr(static_cast<int>(n));
     for (int c = 0; c < d; ++c) out[c] += nr[c];
   }
-  const double inv = 1.0 / static_cast<double>(neighbors.size());
+  const T inv = T(1) / static_cast<T>(neighbors.size());
   for (int c = 0; c < d; ++c) out[c] *= inv;
 }
 
 // Concat row body: out row r = [a row r | b row r]; `out` pre-sized.
-inline void concat_row(const nn::Mat& a, const nn::Mat& b, int r, nn::Mat& out) {
+template <typename T>
+inline void concat_row(const nn::BasicMat<T>& a, const nn::BasicMat<T>& b, int r,
+                       nn::BasicMat<T>& out) {
   std::copy(a.row_ptr(r), a.row_ptr(r) + a.cols(), out.row_ptr(r));
   std::copy(b.row_ptr(r), b.row_ptr(r) + b.cols(), out.row_ptr(r) + a.cols());
 }
@@ -109,7 +128,9 @@ void FlowGnn::scatter_grad_paths_from_edges(const te::Problem& pb, const nn::Mat
       });
 }
 
-void FlowGnn::edge_pass_rows(const te::Problem& pb, Forward& fwd, int l, int e_begin,
+template <typename T, typename Lin>
+void FlowGnn::edge_pass_rows(const te::Problem& pb, ForwardT<T>& fwd,
+                             const std::vector<Lin>& edge_lin, int l, int e_begin,
                              int e_end) const {
   // Fused edge side of block l for rows [e_begin, e_end): bipartite
   // aggregation gather (the coupled link-level step — it reads *all* path
@@ -118,9 +139,10 @@ void FlowGnn::edge_pass_rows(const te::Problem& pb, Forward& fwd, int l, int e_b
   // write lands in this slice's rows only.
   auto& blk = fwd.blocks[static_cast<std::size_t>(l)];
   const int d = dims_[static_cast<std::size_t>(l)];
-  const auto& lin = edge_linear_[static_cast<std::size_t>(l)];
+  const auto& lin = edge_lin[static_cast<std::size_t>(l)];
   const bool last = l + 1 >= cfg_.n_blocks;
-  nn::Mat* next_in = last ? nullptr : &fwd.blocks[static_cast<std::size_t>(l) + 1].edge_in;
+  nn::BasicMat<T>* next_in =
+      last ? nullptr : &fwd.blocks[static_cast<std::size_t>(l) + 1].edge_in;
   for (int e = e_begin; e < e_end; ++e) {
     mean_gather_row(blk.path_in, pb.paths_on_edge(static_cast<topo::EdgeId>(e)),
                     fwd.agg_e.row_ptr(e), d);
@@ -133,7 +155,10 @@ void FlowGnn::edge_pass_rows(const te::Problem& pb, Forward& fwd, int l, int e_b
   }
 }
 
-void FlowGnn::demand_pass_rows(const te::Problem& pb, Forward& fwd, int l, int d_begin,
+template <typename T, typename Lin>
+void FlowGnn::demand_pass_rows(const te::Problem& pb, ForwardT<T>& fwd,
+                               const std::vector<Lin>& path_lin,
+                               const std::vector<Lin>& dnn_lin, int l, int d_begin,
                                int d_end) const {
   // Fused demand side of block l for demands [d_begin, d_end): per-path
   // aggregation/dense update, then the per-demand DNN layer, then widening
@@ -142,10 +167,11 @@ void FlowGnn::demand_pass_rows(const te::Problem& pb, Forward& fwd, int l, int d
   auto& blk = fwd.blocks[static_cast<std::size_t>(l)];
   const int d = dims_[static_cast<std::size_t>(l)];
   const int k = k_paths_;
-  const auto& p_lin = path_linear_[static_cast<std::size_t>(l)];
-  const auto& dnn_lin = dnn_linear_[static_cast<std::size_t>(l)];
+  const auto& p_lin = path_lin[static_cast<std::size_t>(l)];
+  const auto& dnn = dnn_lin[static_cast<std::size_t>(l)];
   const bool last = l + 1 >= cfg_.n_blocks;
-  nn::Mat* next_in = last ? nullptr : &fwd.blocks[static_cast<std::size_t>(l) + 1].path_in;
+  nn::BasicMat<T>* next_in =
+      last ? nullptr : &fwd.blocks[static_cast<std::size_t>(l) + 1].path_in;
   if (d_begin >= d_end) return;
   // The slice's paths are contiguous (demands own contiguous path ranges),
   // so every dense kernel runs once over the whole slice.
@@ -161,17 +187,17 @@ void FlowGnn::demand_pass_rows(const te::Problem& pb, Forward& fwd, int l, int d
   // --- DNN layer: coordinate the k paths of each demand. Demands with
   // fewer than k paths keep zero padding in their trailing slots.
   for (int dem = d_begin; dem < d_end; ++dem) {
-    double* row = blk.dnn_in.row_ptr(dem);
-    std::fill(row, row + k * d, 0.0);
+    T* row = blk.dnn_in.row_ptr(dem);
+    std::fill(row, row + k * d, T(0));
     int slot = 0;
     for (int p = pb.path_begin(dem); p < pb.path_end(dem); ++p, ++slot) {
       std::copy(blk.path_act.row_ptr(p), blk.path_act.row_ptr(p) + d, row + slot * d);
     }
   }
-  dnn_lin.forward_rows(blk.dnn_in, blk.dnn_pre, d_begin, d_end);
+  dnn.forward_rows(blk.dnn_in, blk.dnn_pre, d_begin, d_end);
   nn::leaky_relu_forward_rows(blk.dnn_pre, fwd.dnn_act, d_begin, d_end, cfg_.leaky_alpha);
   for (int dem = d_begin; dem < d_end; ++dem) {
-    const double* act = fwd.dnn_act.row_ptr(dem);
+    const T* act = fwd.dnn_act.row_ptr(dem);
     int slot = 0;
     for (int p = pb.path_begin(dem); p < pb.path_end(dem); ++p, ++slot) {
       std::copy(act + slot * d, act + (slot + 1) * d, blk.path_out.row_ptr(p));
@@ -189,9 +215,13 @@ void FlowGnn::demand_pass_rows(const te::Problem& pb, Forward& fwd, int l, int d
   }
 }
 
-void FlowGnn::forward(const te::Problem& pb, const te::TrafficMatrix& tm,
-                      const std::vector<double>* capacities, Forward& fwd,
-                      const ShardPlan& shards, ShardStat* stats) const {
+template <typename T, typename Lin>
+void FlowGnn::forward_impl(const te::Problem& pb, const te::TrafficMatrix& tm,
+                           const std::vector<double>* capacities, ForwardT<T>& fwd,
+                           const ShardPlan& shards, ShardStat* stats,
+                           const std::vector<Lin>& edge_lin,
+                           const std::vector<Lin>& path_lin,
+                           const std::vector<Lin>& dnn_lin) const {
   const int ne = pb.graph().num_edges();
   const int np = pb.total_paths();
   const int nd = pb.num_demands();
@@ -201,8 +231,9 @@ void FlowGnn::forward(const te::Problem& pb, const te::TrafficMatrix& tm,
 
   // Initial 1-dim features, normalized by the mean link capacity so both
   // entities live on comparable scales (§3.2). The mean is a cross-demand
-  // reduction, computed sequentially so every shard plan sees identical
-  // bits.
+  // reduction, computed sequentially — and always in double, even on the
+  // f32 path — so every shard plan sees identical bits and the narrowed
+  // path loses precision only in the per-row NN arithmetic.
   if (capacities == nullptr) {
     pb.capacities_into(fwd.caps);
     capacities = &fwd.caps;
@@ -212,11 +243,13 @@ void FlowGnn::forward(const te::Problem& pb, const te::TrafficMatrix& tm,
   for (double c : caps) mean_cap += c;
   mean_cap /= std::max<std::size_t>(1, caps.size());
   fwd.edge_feat0.resize(ne, 1);
-  for (int e = 0; e < ne; ++e) fwd.edge_feat0.at(e, 0) = caps[static_cast<std::size_t>(e)] / mean_cap;
+  for (int e = 0; e < ne; ++e) {
+    fwd.edge_feat0.at(e, 0) = static_cast<T>(caps[static_cast<std::size_t>(e)] / mean_cap);
+  }
   fwd.path_feat0.resize(np, 1);
   for (int p = 0; p < np; ++p) {
-    fwd.path_feat0.at(p, 0) =
-        tm.volume[static_cast<std::size_t>(pb.demand_of_path(p))] / mean_cap;
+    fwd.path_feat0.at(p, 0) = static_cast<T>(
+        tm.volume[static_cast<std::size_t>(pb.demand_of_path(p))] / mean_cap);
   }
 
   widen_into(fwd.edge_feat0, fwd.edge_feat0, dims_[0], fwd.blocks[0].edge_in);
@@ -226,9 +259,9 @@ void FlowGnn::forward(const te::Problem& pb, const te::TrafficMatrix& tm,
     auto& blk = fwd.blocks[static_cast<std::size_t>(l)];
     const int d = dims_[static_cast<std::size_t>(l)];
 
-    // Size every buffer of the block before fanning out — Mat::resize must
-    // never run concurrently, and pre-sizing keeps warm passes
-    // allocation-free exactly as before.
+    // Size every buffer of the block before fanning out — resize must never
+    // run concurrently, and pre-sizing keeps warm passes allocation-free
+    // exactly as before.
     fwd.agg_e.resize(ne, d);
     fwd.agg_p.resize(np, d);
     blk.edge_cat.resize(ne, 2 * d);
@@ -254,14 +287,32 @@ void FlowGnn::forward(const te::Problem& pb, const te::TrafficMatrix& tm,
     // the pool — deterministic per row, so identical under any chunking.
     util::ThreadPool::global().parallel_chunks(
         static_cast<std::size_t>(ne), [&](std::size_t b, std::size_t e) {
-          edge_pass_rows(pb, fwd, l, static_cast<int>(b), static_cast<int>(e));
+          edge_pass_rows(pb, fwd, edge_lin, l, static_cast<int>(b), static_cast<int>(e));
         });
     // Demand pass: fanned over the shard plan, each shard writing its own
     // demand slice of the shared workspace.
     run_sharded(shards, stats, [&](int /*shard*/, int d0, int d1) {
-      demand_pass_rows(pb, fwd, l, d0, d1);
+      demand_pass_rows(pb, fwd, path_lin, dnn_lin, l, d0, d1);
     });
   }
+}
+
+void FlowGnn::forward(const te::Problem& pb, const te::TrafficMatrix& tm,
+                      const std::vector<double>* capacities, Forward& fwd,
+                      const ShardPlan& shards, ShardStat* stats) const {
+  forward_impl(pb, tm, capacities, fwd, shards, stats, edge_linear_, path_linear_,
+               dnn_linear_);
+}
+
+void FlowGnn::forward_f32(const te::Problem& pb, const te::TrafficMatrix& tm,
+                          const std::vector<double>* capacities, ForwardF& fwd,
+                          const ShardPlan& shards, ShardStat* stats) const {
+  if (!f32_ready()) {
+    throw std::logic_error(
+        "FlowGnn::forward_f32: prepare_f32() has not been called (use "
+        "te::Scheme::set_precision, which snapshots the weights)");
+  }
+  forward_impl(pb, tm, capacities, fwd, shards, stats, edge_f32_, path_f32_, dnn_f32_);
 }
 
 void FlowGnn::forward(const te::Problem& pb, const te::TrafficMatrix& tm,

@@ -53,25 +53,33 @@ class FlowGnn {
   // Forward caches double as a reusable workspace: run forward() into the
   // same Forward object repeatedly and every Mat resizes in place, so steady-
   // state passes perform no heap allocation.
-  struct Forward {
+  //
+  // Precision-parameterized: ForwardT<double> (alias Forward) is the
+  // reference/training cache, ForwardT<float> (alias ForwardF) the narrowed
+  // f32 inference mirror driven by forward_f32(). Only the f64 cache feeds
+  // backward().
+  template <typename T>
+  struct ForwardT {
     // Per-block caches needed by backward.
     struct Block {
-      nn::Mat edge_in, path_in;      // block inputs (N_e x d), (N_p x d)
-      nn::Mat edge_cat, path_cat;    // concat [self, agg] inputs to the linears
-      nn::Mat edge_pre, path_pre;    // pre-activations
-      nn::Mat edge_act, path_act;    // post-activations (edge output of block)
-      nn::Mat dnn_in, dnn_pre;       // per-demand concat (D x k*d) and pre-act
-      nn::Mat path_out;              // paths after the DNN layer (N_p x d)
+      nn::BasicMat<T> edge_in, path_in;    // block inputs (N_e x d), (N_p x d)
+      nn::BasicMat<T> edge_cat, path_cat;  // concat [self, agg] inputs to the linears
+      nn::BasicMat<T> edge_pre, path_pre;  // pre-activations
+      nn::BasicMat<T> edge_act, path_act;  // post-activations (edge output of block)
+      nn::BasicMat<T> dnn_in, dnn_pre;     // per-demand concat (D x k*d) and pre-act
+      nn::BasicMat<T> path_out;            // paths after the DNN layer (N_p x d)
     };
     std::vector<Block> blocks;
-    nn::Mat edge_feat0, path_feat0;  // initial 1-dim features (for widening)
-    nn::Mat final_paths;             // (N_p x n_blocks) final path embeddings
+    nn::BasicMat<T> edge_feat0, path_feat0;  // initial 1-dim features (for widening)
+    nn::BasicMat<T> final_paths;             // (N_p x n_blocks) final path embeddings
 
     // Scratch reused across blocks (not needed by backward).
-    nn::Mat agg_e, agg_p;            // bipartite aggregation outputs
-    nn::Mat dnn_act;                 // DNN-layer activation
-    std::vector<double> caps;        // capacity snapshot when none is passed
+    nn::BasicMat<T> agg_e, agg_p;            // bipartite aggregation outputs
+    nn::BasicMat<T> dnn_act;                 // DNN-layer activation
+    std::vector<double> caps;  // capacity snapshot when none is passed (always f64)
   };
+  using Forward = ForwardT<double>;
+  using ForwardF = ForwardT<float>;
 
   // Runs the GNN over the problem structure with the given per-interval
   // inputs, writing into (and reusing) the caller-owned Forward workspace.
@@ -95,6 +103,23 @@ class FlowGnn {
   Forward forward(const te::Problem& pb, const te::TrafficMatrix& tm,
                   const std::vector<double>* capacities = nullptr) const;
 
+  // Narrowed f32 inference forward over the same sharding contract as the
+  // sharded forward() above (identical pass structure; per-shard row writes
+  // stay disjoint, reductions sequential — so any shard plan produces
+  // bit-identical f32 results too). Requires prepare_f32(); throws
+  // std::logic_error otherwise. Mean-capacity normalization is computed in
+  // double and narrowed once, so only the per-row NN arithmetic changes
+  // precision.
+  void forward_f32(const te::Problem& pb, const te::TrafficMatrix& tm,
+                   const std::vector<double>* capacities, ForwardF& fwd,
+                   const ShardPlan& shards, ShardStat* stats = nullptr) const;
+
+  // Snapshots the current parameters into f32 mirrors for forward_f32().
+  // Not thread-safe against concurrent forwards; call before inference
+  // starts and re-call after any parameter update.
+  void prepare_f32();
+  bool f32_ready() const { return !edge_f32_.empty(); }
+
   // Backpropagates `grad_final_paths` (same shape as Forward::final_paths),
   // accumulating parameter gradients.
   void backward(const te::Problem& pb, const Forward& fwd, const nn::Mat& grad_final_paths);
@@ -108,15 +133,27 @@ class FlowGnn {
   int k_paths() const { return k_paths_; }
 
  private:
-  // Fused per-row passes of one block (see forward): the edge pass covers
-  // edge rows [e_begin, e_end), the demand pass covers demands
-  // [d_begin, d_end) — aggregation gather, concat, dense update, activation
-  // and widening for the slice, all reading only buffers stable during the
-  // block.
-  void edge_pass_rows(const te::Problem& pb, Forward& fwd, int l, int e_begin,
+  // Fused per-row passes of one block (see forward), generic over the
+  // element type T and the layer type Lin (nn::Linear for f64,
+  // nn::LinearF32 for the narrowed path): the edge pass covers edge rows
+  // [e_begin, e_end), the demand pass covers demands [d_begin, d_end) —
+  // aggregation gather, concat, dense update, activation and widening for
+  // the slice, all reading only buffers stable during the block.
+  template <typename T, typename Lin>
+  void edge_pass_rows(const te::Problem& pb, ForwardT<T>& fwd,
+                      const std::vector<Lin>& edge_lin, int l, int e_begin,
                       int e_end) const;
-  void demand_pass_rows(const te::Problem& pb, Forward& fwd, int l, int d_begin,
-                        int d_end) const;
+  template <typename T, typename Lin>
+  void demand_pass_rows(const te::Problem& pb, ForwardT<T>& fwd,
+                        const std::vector<Lin>& path_lin, const std::vector<Lin>& dnn_lin,
+                        int l, int d_begin, int d_end) const;
+  // Shared body of the f64 and f32 forwards.
+  template <typename T, typename Lin>
+  void forward_impl(const te::Problem& pb, const te::TrafficMatrix& tm,
+                    const std::vector<double>* capacities, ForwardT<T>& fwd,
+                    const ShardPlan& shards, ShardStat* stats,
+                    const std::vector<Lin>& edge_lin, const std::vector<Lin>& path_lin,
+                    const std::vector<Lin>& dnn_lin) const;
 
   // Backward message-passing transposes.
   void scatter_grad_edges_from_paths(const te::Problem& pb, const nn::Mat& g_agg,
@@ -131,6 +168,8 @@ class FlowGnn {
   std::vector<int> dims_;
   // Per block: edge-update, path-update (input 2d -> d) and DNN (k*d -> k*d).
   std::vector<nn::Linear> edge_linear_, path_linear_, dnn_linear_;
+  // f32 inference mirrors of the same layers (empty until prepare_f32()).
+  std::vector<nn::LinearF32> edge_f32_, path_f32_, dnn_f32_;
 };
 
 }  // namespace teal::core

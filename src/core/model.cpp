@@ -23,6 +23,42 @@ void TealModel::run_pipeline(const te::Problem& pb, const te::TrafficMatrix& tm,
   });
 }
 
+void TealModel::prepare_f32() {
+  gnn_.prepare_f32();
+  policy_.prepare_f32();
+}
+
+void TealModel::forward_ws_f32(const te::Problem& pb, const te::TrafficMatrix& tm,
+                               const std::vector<double>* capacities, ModelForward& out,
+                               const ShardPlan& shards, ShardStat* stats) const {
+  // Same cache-reuse contract as forward_ws, under the f32 owner tag (an f32
+  // cache is a ForwardF32; the f64 path must never reinterpret it).
+  if (out.owner != &f32_owner_tag_ || out.cache == nullptr || out.cache.use_count() != 1) {
+    out.cache = std::make_shared<ForwardF32>();
+    out.owner = &f32_owner_tag_;
+  }
+  auto* typed = static_cast<ForwardF32*>(out.cache.get());
+  gnn_.forward_f32(pb, tm, capacities, typed->gnn, shards, stats);
+  // Fused per-demand tail: input assembly (float), policy forward (float),
+  // and the logit widening back to the caller's f64 matrices — each shard
+  // touches only its own demand rows, so the fan-out stays race-free.
+  const int nd = pb.num_demands();
+  typed->policy.input.resize(nd, k_ * typed->gnn.final_paths.cols());
+  out.mask.resize(nd, k_);
+  policy_.prepare_forward(typed->policy);
+  out.logits.resize(nd, k_);
+  run_sharded(shards, stats, [&](int /*shard*/, int d0, int d1) {
+    build_policy_input_rows(pb, typed->gnn.final_paths, k_, typed->policy.input, out.mask,
+                            d0, d1);
+    policy_.forward_rows(typed->policy, d0, d1);
+    for (int d = d0; d < d1; ++d) {
+      const float* lr = typed->policy.logits.row_ptr(d);
+      double* outr = out.logits.row_ptr(d);
+      for (int c = 0; c < k_; ++c) outr[c] = static_cast<double>(lr[c]);
+    }
+  });
+}
+
 void TealModel::forward(const te::Problem& pb, const te::TrafficMatrix& tm,
                         const std::vector<double>* capacities, Forward& fwd) const {
   const int nd = pb.num_demands();
@@ -90,6 +126,14 @@ void TealModel::forward_ws(const te::Problem& pb, const te::TrafficMatrix& tm,
 
 void TealModel::backward_m(const te::Problem& pb, const ModelForward& fwd,
                            const nn::Mat& grad_logits) {
+  // Only an f64 cache produced by this model can back-propagate: an f32
+  // cache (owner == &f32_owner_tag_) has no double activations, and a cache
+  // from another model would be reinterpreted garbage.
+  if (fwd.owner != this || fwd.cache == nullptr) {
+    throw std::logic_error(
+        "TealModel::backward_m: forward cache was not produced by this model's "
+        "f64 forward path (f32 inference caches cannot back-propagate)");
+  }
   backward(pb, *std::static_pointer_cast<Forward>(fwd.cache), grad_logits);
 }
 

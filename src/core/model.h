@@ -61,6 +61,22 @@ class Model {
     forward_ws(pb, tm, capacities, fwd);
   }
 
+  // Narrowed f32 inference forward (the paper's fp32 deployment precision):
+  // runs the NN arithmetic in float through f32 weight snapshots, widening
+  // logits/mask back to double in `fwd` so everything downstream (masked
+  // softmax, ADMM) is unchanged. prepare_f32() snapshots the current
+  // parameters; it must run before the first f32 forward and after any
+  // further training (not thread-safe against concurrent forwards).
+  // Defaults: unsupported — forward_ws_f32 falls back to the f64 path, so
+  // the precision knob degrades gracefully for the ablation variants.
+  virtual bool supports_f32_forward() const { return false; }
+  virtual void prepare_f32() {}
+  virtual void forward_ws_f32(const te::Problem& pb, const te::TrafficMatrix& tm,
+                              const std::vector<double>* capacities, ModelForward& fwd,
+                              const ShardPlan& shards, ShardStat* stats = nullptr) const {
+    forward_ws(pb, tm, capacities, fwd, shards, stats);
+  }
+
   void save(const std::string& path) { nn::save_params(path, params()); }
   bool load(const std::string& path) { return nn::load_params(path, params()); }
 };
@@ -81,6 +97,13 @@ class TealModel : public Model {
     nn::Mat logits;  // (D, k), alias of policy.logits
   };
 
+  // f32 inference caches (the float mirrors a SolveWorkspace grows when the
+  // solve runs at Precision::f32). Never feeds backward().
+  struct ForwardF32 {
+    FlowGnn::ForwardF gnn;
+    PolicyNet::ForwardF policy;
+  };
+
   Forward forward(const te::Problem& pb, const te::TrafficMatrix& tm,
                   const std::vector<double>* capacities = nullptr) const;
 
@@ -99,6 +122,11 @@ class TealModel : public Model {
   void forward_ws(const te::Problem& pb, const te::TrafficMatrix& tm,
                   const std::vector<double>* capacities, ModelForward& fwd,
                   const ShardPlan& shards, ShardStat* stats = nullptr) const override;
+  bool supports_f32_forward() const override { return true; }
+  void prepare_f32() override;
+  void forward_ws_f32(const te::Problem& pb, const te::TrafficMatrix& tm,
+                      const std::vector<double>* capacities, ModelForward& fwd,
+                      const ShardPlan& shards, ShardStat* stats = nullptr) const override;
   void backward_m(const te::Problem& pb, const ModelForward& fwd,
                   const nn::Mat& grad_logits) override;
   std::vector<nn::Param*> params() override;
@@ -120,6 +148,11 @@ class TealModel : public Model {
   util::Rng init_rng_;  // declared before the networks: it seeds their init
   FlowGnn gnn_;
   PolicyNet policy_;
+  // ModelForward::owner tag for f32 caches: an f32 cache holds a ForwardF32,
+  // not a Forward, so it must never be reinterpreted by the f64 path (and
+  // vice versa). Tagging with this member's address instead of `this` keeps
+  // the two cache kinds distinct per model instance.
+  char f32_owner_tag_ = 0;
 };
 
 // Converts logits + mask into per-demand split ratios via masked softmax.

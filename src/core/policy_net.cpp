@@ -28,26 +28,63 @@ void PolicyNet::forward(Forward& fwd) const {
   out_.forward(*cur, fwd.logits);
 }
 
-void PolicyNet::prepare_forward(Forward& fwd) const {
+template <typename T, typename Lin, typename Out>
+void PolicyNet::prepare_forward_impl(ForwardT<T>& fwd, const std::vector<Lin>& hidden,
+                                     const Out& out) const {
   const int n = fwd.input.rows();
-  fwd.pre.resize(hidden_.size());
-  fwd.act.resize(hidden_.size());
-  for (std::size_t i = 0; i < hidden_.size(); ++i) {
-    fwd.pre[i].resize(n, hidden_[i].out_features());
-    fwd.act[i].resize(n, hidden_[i].out_features());
+  fwd.pre.resize(hidden.size());
+  fwd.act.resize(hidden.size());
+  for (std::size_t i = 0; i < hidden.size(); ++i) {
+    fwd.pre[i].resize(n, hidden[i].out_features());
+    fwd.act[i].resize(n, hidden[i].out_features());
   }
-  fwd.logits.resize(n, out_.out_features());
+  fwd.logits.resize(n, out.out_features());
 }
 
-void PolicyNet::forward_rows(Forward& fwd, int row_begin, int row_end) const {
-  const nn::Mat* cur = &fwd.input;
-  for (std::size_t i = 0; i < hidden_.size(); ++i) {
-    hidden_[i].forward_rows(*cur, fwd.pre[i], row_begin, row_end);
+template <typename T, typename Lin, typename Out>
+void PolicyNet::forward_rows_impl(ForwardT<T>& fwd, const std::vector<Lin>& hidden,
+                                  const Out& out, int row_begin, int row_end) const {
+  const nn::BasicMat<T>* cur = &fwd.input;
+  for (std::size_t i = 0; i < hidden.size(); ++i) {
+    hidden[i].forward_rows(*cur, fwd.pre[i], row_begin, row_end);
     nn::leaky_relu_forward_rows(fwd.pre[i], fwd.act[i], row_begin, row_end,
                                 cfg_.leaky_alpha);
     cur = &fwd.act[i];
   }
-  out_.forward_rows(*cur, fwd.logits, row_begin, row_end);
+  out.forward_rows(*cur, fwd.logits, row_begin, row_end);
+}
+
+void PolicyNet::prepare_forward(Forward& fwd) const {
+  prepare_forward_impl(fwd, hidden_, out_);
+}
+
+void PolicyNet::forward_rows(Forward& fwd, int row_begin, int row_end) const {
+  forward_rows_impl(fwd, hidden_, out_, row_begin, row_end);
+}
+
+void PolicyNet::prepare_f32() {
+  hidden_f32_.clear();
+  hidden_f32_.reserve(hidden_.size());
+  for (const auto& l : hidden_) hidden_f32_.push_back(l.snapshot_f32());
+  out_f32_ = out_.snapshot_f32();
+}
+
+void PolicyNet::prepare_forward(ForwardF& fwd) const {
+  if (!f32_ready()) {
+    throw std::logic_error(
+        "PolicyNet: prepare_f32() has not been called (use "
+        "te::Scheme::set_precision, which snapshots the weights)");
+  }
+  prepare_forward_impl(fwd, hidden_f32_, *out_f32_);
+}
+
+void PolicyNet::forward_rows(ForwardF& fwd, int row_begin, int row_end) const {
+  if (!f32_ready()) {
+    throw std::logic_error(
+        "PolicyNet: prepare_f32() has not been called (use "
+        "te::Scheme::set_precision, which snapshots the weights)");
+  }
+  forward_rows_impl(fwd, hidden_f32_, *out_f32_, row_begin, row_end);
 }
 
 PolicyNet::Forward PolicyNet::forward(const nn::Mat& input) const {
@@ -89,12 +126,18 @@ void build_policy_input(const te::Problem& pb, const nn::Mat& path_embeddings, i
   build_policy_input_rows(pb, path_embeddings, k, input, mask, 0, nd);
 }
 
-void build_policy_input_rows(const te::Problem& pb, const nn::Mat& path_embeddings, int k,
-                             nn::Mat& input, nn::Mat& mask, int d_begin, int d_end) {
+namespace {
+// Shared body of the f64/f32 input assembly: the embedding/input element
+// type narrows, the mask stays double (it feeds the f64 masked softmax).
+template <typename T>
+void build_policy_input_rows_impl(const te::Problem& pb,
+                                  const nn::BasicMat<T>& path_embeddings, int k,
+                                  nn::BasicMat<T>& input, nn::Mat& mask, int d_begin,
+                                  int d_end) {
   const int dim = path_embeddings.cols();
   for (int d = d_begin; d < d_end; ++d) {
-    double* row = input.row_ptr(d);
-    std::fill(row, row + static_cast<std::size_t>(k) * dim, 0.0);
+    T* row = input.row_ptr(d);
+    std::fill(row, row + static_cast<std::size_t>(k) * dim, T(0));
     double* mrow = mask.row_ptr(d);
     std::fill(mrow, mrow + k, 0.0);
     int slot = 0;
@@ -102,6 +145,35 @@ void build_policy_input_rows(const te::Problem& pb, const nn::Mat& path_embeddin
       std::copy(path_embeddings.row_ptr(p), path_embeddings.row_ptr(p) + dim,
                 row + slot * dim);
       mrow[slot] = 1.0;
+    }
+  }
+}
+}  // namespace
+
+void build_policy_input_rows(const te::Problem& pb, const nn::Mat& path_embeddings, int k,
+                             nn::Mat& input, nn::Mat& mask, int d_begin, int d_end) {
+  build_policy_input_rows_impl(pb, path_embeddings, k, input, mask, d_begin, d_end);
+}
+
+void build_policy_input_rows(const te::Problem& pb, const nn::MatF& path_embeddings, int k,
+                             nn::MatF& input, nn::Mat& mask, int d_begin, int d_end) {
+  build_policy_input_rows_impl(pb, path_embeddings, k, input, mask, d_begin, d_end);
+}
+
+void check_policy_mask_rows(const te::Problem& pb, const nn::Mat& mask, int d_begin,
+                            int d_end) {
+  const int k = mask.cols();
+  for (int d = d_begin; d < d_end; ++d) {
+    if (pb.path_begin(d) >= pb.path_end(d)) continue;  // no paths: all-zero is legal
+    const double* mrow = mask.row_ptr(d);
+    bool any = false;
+    for (int c = 0; c < k; ++c) any = any || mrow[c] != 0.0;
+    if (!any) {
+      throw std::logic_error(
+          "check_policy_mask_rows: demand " + std::to_string(d) + " has " +
+          std::to_string(pb.path_end(d) - pb.path_begin(d)) +
+          " path(s) but a fully-zero policy mask row — the masked softmax would "
+          "silently emit an all-zero split row for it");
     }
   }
 }

@@ -9,6 +9,7 @@
 // to the WAN topology size — the property that makes learning tractable.
 #pragma once
 
+#include <optional>
 #include <vector>
 
 #include "nn/module.h"
@@ -29,12 +30,17 @@ class PolicyNet {
 
   // Doubles as a reusable workspace: repeated in-place forward() calls into
   // the same object resize every Mat within its existing capacity.
-  struct Forward {
-    nn::Mat input;                 // (D, in_dim)
-    std::vector<nn::Mat> pre;      // hidden pre-activations
-    std::vector<nn::Mat> act;      // hidden activations
-    nn::Mat logits;                // (D, k)
+  // ForwardT<double> (alias Forward) is the reference/training cache;
+  // ForwardT<float> (alias ForwardF) the narrowed f32 inference mirror.
+  template <typename T>
+  struct ForwardT {
+    nn::BasicMat<T> input;             // (D, in_dim)
+    std::vector<nn::BasicMat<T>> pre;  // hidden pre-activations
+    std::vector<nn::BasicMat<T>> act;  // hidden activations
+    nn::BasicMat<T> logits;            // (D, k)
   };
+  using Forward = ForwardT<double>;
+  using ForwardF = ForwardT<float>;
 
   // In-place forward: reads fwd.input (which the caller fills, e.g. via
   // build_policy_input), writes pre/act/logits. Allocation-free once warm.
@@ -47,6 +53,17 @@ class PolicyNet {
   // Bit-identical to forward() for any row partition.
   void prepare_forward(Forward& fwd) const;
   void forward_rows(Forward& fwd, int row_begin, int row_end) const;
+
+  // Narrowed f32 inference pair over the same sharding contract. Requires
+  // prepare_f32() (throws std::logic_error otherwise — the te::Scheme
+  // precision knob snapshots the weights).
+  void prepare_forward(ForwardF& fwd) const;
+  void forward_rows(ForwardF& fwd, int row_begin, int row_end) const;
+
+  // Snapshots the current parameters into f32 mirrors. Not thread-safe
+  // against concurrent forwards; re-call after any parameter update.
+  void prepare_f32();
+  bool f32_ready() const { return out_f32_.has_value(); }
 
   // `input` rows are per-demand concatenated path embeddings (zero-padded for
   // demands with fewer than k paths). Allocates a fresh Forward per call.
@@ -61,10 +78,21 @@ class PolicyNet {
   int in_dim() const { return in_dim_; }
 
  private:
+  // Shared body of the f64/f32 prepare_forward and forward_rows pairs.
+  template <typename T, typename Lin, typename Out>
+  void prepare_forward_impl(ForwardT<T>& fwd, const std::vector<Lin>& hidden,
+                            const Out& out) const;
+  template <typename T, typename Lin, typename Out>
+  void forward_rows_impl(ForwardT<T>& fwd, const std::vector<Lin>& hidden, const Out& out,
+                         int row_begin, int row_end) const;
+
   PolicyConfig cfg_;
   int in_dim_, k_paths_;
   std::vector<nn::Linear> hidden_;
   nn::Linear out_;
+  // f32 inference mirrors (empty until prepare_f32()).
+  std::vector<nn::LinearF32> hidden_f32_;
+  std::optional<nn::LinearF32> out_f32_;
 };
 
 // Assembles the (D, k*dim) policy input matrix from final path embeddings and
@@ -76,6 +104,22 @@ void build_policy_input(const te::Problem& pb, const nn::Mat& path_embeddings, i
 // of `input`/`mask`, which must be pre-sized to (D, k*dim) and (D, k).
 void build_policy_input_rows(const te::Problem& pb, const nn::Mat& path_embeddings, int k,
                              nn::Mat& input, nn::Mat& mask, int d_begin, int d_end);
+
+// f32 variant for the narrowed inference path: the embeddings and the policy
+// input are float, but the validity mask stays double — it feeds the f64
+// masked softmax downstream, so only NN arithmetic narrows.
+void build_policy_input_rows(const te::Problem& pb, const nn::MatF& path_embeddings, int k,
+                             nn::MatF& input, nn::Mat& mask, int d_begin, int d_end);
+
+// Contract guard at the policy boundary: a demand that owns at least one
+// path must have at least one nonzero mask entry, otherwise the masked
+// softmax silently emits an all-zero split row that downstream ADMM consumes
+// as "route nothing" (demands with zero paths legitimately keep all-zero
+// rows). Throws std::logic_error naming the first offending demand. Checks
+// demand rows [d_begin, d_end); cheap (O(rows * k)), run per shard slice on
+// the solve path.
+void check_policy_mask_rows(const te::Problem& pb, const nn::Mat& mask, int d_begin,
+                            int d_end);
 
 // Scatters d(loss)/d(policy input) back into a (N_p, dim) path-embedding grad.
 void scatter_policy_input_grad(const te::Problem& pb, const nn::Mat& grad_input, int k,

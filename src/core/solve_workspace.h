@@ -24,7 +24,13 @@ namespace teal::core {
 
 struct SolveWorkspace {
   std::vector<double> caps;  // capacity snapshot for this solve
-  ModelForward fwd;          // model forward caches (owner-tagged)
+  ModelForward fwd;          // f64 model forward caches (owner-tagged)
+  // Float mirror of the forward caches for Precision::f32 solves: its cache
+  // holds the model's f32 activations (TealModel::ForwardF32) while its
+  // logits/mask members are the double widenings the rest of the pipeline
+  // consumes. Only the precision actually used grows warm buffers, so an
+  // f64-only workspace pays nothing for the mirror.
+  ModelForward fwd32;
   nn::Mat splits;            // (D, k) masked-softmax split ratios
   Admm::Workspace admm;      // ADMM primal/dual state
 

@@ -42,13 +42,26 @@ void TealScheme::solve_with(SolveWorkspace& ws, const te::Problem& pb,
   ws.prepare_shards(plan);
   ShardStat* stats = ws.shard_stats.data();
   pb.capacities_into(ws.caps);
-  model_->forward_ws(pb, tm, &ws.caps, ws.fwd, plan, stats);
+  // Precision dispatch: the f32 path runs the NN forward through the float
+  // mirror workspace and widens logits/mask back to double, so everything
+  // from the softmax down is precision-oblivious.
+  const bool f32 = precision_ == te::Precision::f32 && model_->supports_f32_forward();
+  ModelForward& fwd = f32 ? ws.fwd32 : ws.fwd;
+  if (f32) {
+    model_->forward_ws_f32(pb, tm, &ws.caps, fwd, plan, stats);
+  } else {
+    model_->forward_ws(pb, tm, &ws.caps, fwd, plan, stats);
+  }
   // Masked softmax + allocation writeback, fused per demand slice (sized on
-  // this thread first — resize must not run under the fan-out).
-  ws.splits.resize(ws.fwd.logits.rows(), ws.fwd.logits.cols());
+  // this thread first — resize must not run under the fan-out). The mask
+  // guard enforces the policy-boundary contract: a demand with paths but a
+  // fully-zero mask row would otherwise flow into ADMM as a silent all-zero
+  // allocation.
+  ws.splits.resize(fwd.logits.rows(), fwd.logits.cols());
   out.split.resize(static_cast<std::size_t>(pb.total_paths()));
   run_sharded(plan, stats, [&](int /*shard*/, int d0, int d1) {
-    nn::softmax_rows_range(ws.fwd.logits, ws.fwd.mask, ws.splits, d0, d1);
+    check_policy_mask_rows(pb, fwd.mask, d0, d1);
+    nn::softmax_rows_range(fwd.logits, fwd.mask, ws.splits, d0, d1);
     allocation_from_splits_rows(pb, ws.splits, out, d0, d1);
   });
   if (cfg_.use_admm) {

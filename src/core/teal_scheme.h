@@ -77,6 +77,26 @@ class TealScheme : public te::Scheme {
   void set_shard_count(int n) override { shard_count_ = n; }
   int shard_count() const override { return shard_count_; }
 
+  // Precision knob (te::Precision): f32 narrows the NN forward to float —
+  // through per-layer weight snapshots taken here — while the masked
+  // softmax, the allocation writeback and the ADMM fine-tune stay double,
+  // mirroring the paper's fp32 GPU inference. Snapshotting mutates the
+  // shared model, so set the precision before replicas/batches start and
+  // re-set it after any further training (tests/precision_test.cpp bounds
+  // the f32-vs-f64 allocation error per topology). f32 support follows the
+  // wrapped model: the Figure 14 ablation variants have no narrowed
+  // forward, and claiming support while silently solving in f64 would
+  // corrupt any f32-vs-f64 comparison run against them.
+  bool supports_precision(te::Precision p) const override {
+    return p == te::Precision::f64 || model_->supports_f32_forward();
+  }
+  void set_precision(te::Precision p) override {
+    if (!supports_precision(p)) return;  // knob contract: unsupported = ignored
+    if (p == te::Precision::f32) model_->prepare_f32();
+    precision_ = p;
+  }
+  te::Precision precision() const override { return precision_; }
+
   // Thread-safe replica entry point for the serving layer: one solve through
   // a caller-owned workspace. Distinct workspaces share no mutable state and
   // the model is read-only at inference, so concurrent calls are safe — this
@@ -119,6 +139,7 @@ class TealScheme : public te::Scheme {
   std::string name_;
   double last_seconds_ = 0.0;
   int shard_count_ = 0;                 // 0 = auto (see set_shard_count)
+  te::Precision precision_ = te::Precision::f64;
   SolveWorkspace ws_;                   // solve()/solve_into() workspace
   std::vector<SolveWorkspace> batch_ws_;  // one per batch worker, lazily grown
 };

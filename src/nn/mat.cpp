@@ -1,3 +1,12 @@
+// Kernel implementations for both element types. Precision discipline:
+//  * T = double — strictly ordered arithmetic, identical to the seed
+//    implementation under every build flag. TEAL_SIMD may vectorize the
+//    *elementwise* loops (order-independent per element, so still
+//    bit-identical) but never the reductions.
+//  * T = float  — the f32 inference path. Under TEAL_SIMD its dot-product
+//    reduction reassociates across 8 partial accumulators (vector lanes),
+//    which is what buys the batched linear-forward speedup recorded in the
+//    EXPERIMENTS.md Precision/SIMD ledger.
 #include "nn/mat.h"
 
 #include <algorithm>
@@ -5,7 +14,32 @@
 
 #include "util/thread_pool.h"
 
+#if defined(TEAL_SIMD)
+#define TEAL_PRAGMA(x) _Pragma(#x)
+#define TEAL_SIMD_LOOP TEAL_PRAGMA(omp simd)
+#define TEAL_SIMD_REDUCE(var) TEAL_PRAGMA(omp simd reduction(+ : var))
+#else
+#define TEAL_SIMD_LOOP
+#define TEAL_SIMD_REDUCE(var)
+#endif
+
 namespace teal::nn {
+
+bool simd_enabled() {
+#if defined(TEAL_SIMD)
+  return true;
+#else
+  return false;
+#endif
+}
+
+bool debug_mat_enabled() {
+#ifdef TEAL_DEBUG_MAT
+  return true;
+#else
+  return false;
+#endif
+}
 
 namespace {
 // Rows below this threshold are processed inline; above it, through the pool.
@@ -22,26 +56,61 @@ void for_rows(int n, F&& body) {
     for (int r = 0; r < n; ++r) body(r);
   }
 }
-}  // namespace
 
-namespace {
+// Dot product with the bias as the accumulation seed. The double overload is
+// the strictly ordered reference (seed-identical bits); the float overload
+// may reassociate into vector lanes under TEAL_SIMD — the narrowed path
+// trades bit-stability for throughput, which is exactly the paper's fp32
+// inference contract.
+inline double row_dot(const double* a, const double* b, int n, double seed) {
+  double acc = seed;
+  for (int i = 0; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+inline float row_dot(const float* a, const float* b, int n, float seed) {
+#if defined(TEAL_SIMD)
+  constexpr int kLanes = 8;  // partial accumulators, 4-8 wide per the vector unit
+  if (n >= 2 * kLanes) {
+    float lanes[kLanes] = {};
+    int i = 0;
+    for (; i + kLanes <= n; i += kLanes) {
+      TEAL_SIMD_LOOP
+      for (int l = 0; l < kLanes; ++l) lanes[l] += a[i + l] * b[i + l];
+    }
+    float acc = seed;
+    for (; i < n; ++i) acc += a[i] * b[i];
+    for (int l = 0; l < kLanes; ++l) acc += lanes[l];
+    return acc;
+  }
+  float acc = seed;
+  TEAL_SIMD_REDUCE(acc)
+  for (int i = 0; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+#else
+  float acc = seed;
+  for (int i = 0; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+#endif
+}
+
 // Shared row body of linear_forward / linear_forward_rows: identical
 // arithmetic keeps full and row-range calls bit-identical.
-inline void linear_row(const Mat& x, const Mat& w, const std::vector<double>& b, Mat& y,
-                       int r) {
+template <typename T>
+inline void linear_row(const BasicMat<T>& x, const BasicMat<T>& w, const std::vector<T>& b,
+                       BasicMat<T>& y, int r) {
   const int in = x.cols(), out = w.rows();
-  const double* xr = x.row_ptr(r);
-  double* yr = y.row_ptr(r);
+  const T* xr = x.row_ptr(r);
+  T* yr = y.row_ptr(r);
   for (int o = 0; o < out; ++o) {
-    const double* wr = w.row_ptr(o);
-    double acc = b[static_cast<std::size_t>(o)];
-    for (int i = 0; i < in; ++i) acc += xr[i] * wr[i];
-    yr[o] = acc;
+    yr[o] = row_dot(xr, w.row_ptr(o), in, b[static_cast<std::size_t>(o)]);
   }
 }
 }  // namespace
 
-void linear_forward(const Mat& x, const Mat& w, const std::vector<double>& b, Mat& y) {
+template <typename T>
+void linear_forward(const BasicMat<T>& x, const BasicMat<T>& w, const std::vector<T>& b,
+                    BasicMat<T>& y) {
   const int n = x.rows(), in = x.cols(), out = w.rows();
   if (w.cols() != in) throw std::invalid_argument("linear_forward: shape mismatch");
   if (static_cast<int>(b.size()) != out) throw std::invalid_argument("linear_forward: bias");
@@ -49,8 +118,9 @@ void linear_forward(const Mat& x, const Mat& w, const std::vector<double>& b, Ma
   for_rows(n, [&](int r) { linear_row(x, w, b, y, r); });
 }
 
-void linear_forward_rows(const Mat& x, const Mat& w, const std::vector<double>& b, Mat& y,
-                         int row_begin, int row_end) {
+template <typename T>
+void linear_forward_rows(const BasicMat<T>& x, const BasicMat<T>& w, const std::vector<T>& b,
+                         BasicMat<T>& y, int row_begin, int row_end) {
   if (w.cols() != x.cols()) throw std::invalid_argument("linear_forward_rows: shape");
   if (y.rows() != x.rows() || y.cols() != w.rows()) {
     throw std::invalid_argument("linear_forward_rows: y must be pre-sized");
@@ -90,23 +160,32 @@ void linear_backward(const Mat& x, const Mat& w, const Mat& gy, Mat& gx, Mat& gw
   }
 }
 
-void leaky_relu_forward(const Mat& x, Mat& y, double alpha) {
+template <typename T>
+void leaky_relu_forward(const BasicMat<T>& x, BasicMat<T>& y, double alpha) {
   y.resize(x.rows(), x.cols());
-  const auto& xs = x.data();
-  auto& ys = y.data();
-  for (std::size_t i = 0; i < xs.size(); ++i) {
-    ys[i] = xs[i] >= 0.0 ? xs[i] : alpha * xs[i];
+  const T a = static_cast<T>(alpha);
+  const T* xs = x.data().data();
+  T* ys = y.data().data();
+  const std::size_t sz = x.size();
+  // Elementwise: vector lanes never reassociate anything, so the pragma is
+  // bit-safe for both element types.
+  TEAL_SIMD_LOOP
+  for (std::size_t i = 0; i < sz; ++i) {
+    ys[i] = xs[i] >= T(0) ? xs[i] : a * xs[i];
   }
 }
 
-void leaky_relu_forward_rows(const Mat& x, Mat& y, int row_begin, int row_end,
-                             double alpha) {
+template <typename T>
+void leaky_relu_forward_rows(const BasicMat<T>& x, BasicMat<T>& y, int row_begin,
+                             int row_end, double alpha) {
   if (!y.same_shape(x)) throw std::invalid_argument("leaky_relu_forward_rows: y shape");
   const int c = x.cols();
+  const T a = static_cast<T>(alpha);
   for (int r = row_begin; r < row_end; ++r) {
-    const double* xr = x.row_ptr(r);
-    double* yr = y.row_ptr(r);
-    for (int i = 0; i < c; ++i) yr[i] = xr[i] >= 0.0 ? xr[i] : alpha * xr[i];
+    const T* xr = x.row_ptr(r);
+    T* yr = y.row_ptr(r);
+    TEAL_SIMD_LOOP
+    for (int i = 0; i < c; ++i) yr[i] = xr[i] >= T(0) ? xr[i] : a * xr[i];
   }
 }
 
@@ -121,39 +200,45 @@ void leaky_relu_backward(const Mat& x_pre, const Mat& gy, Mat& gx, double alpha)
 }
 
 namespace {
-inline void softmax_row(const Mat& logits, const Mat& mask, Mat& probs, bool has_mask,
-                        int r) {
+template <typename T>
+inline void softmax_row(const BasicMat<T>& logits, const BasicMat<T>& mask,
+                        BasicMat<T>& probs, bool has_mask, int r) {
   const int k = logits.cols();
-  const double* lr = logits.row_ptr(r);
-  double* pr = probs.row_ptr(r);
-  double mx = -1e300;
+  const T* lr = logits.row_ptr(r);
+  T* pr = probs.row_ptr(r);
+  T mx = std::numeric_limits<T>::lowest();
   for (int c = 0; c < k; ++c) {
-    if (!has_mask || mask.at(r, c) != 0.0) mx = std::max(mx, lr[c]);
+    if (!has_mask || mask.at(r, c) != T(0)) mx = std::max(mx, lr[c]);
   }
-  double denom = 0.0;
+  T denom = T(0);
   for (int c = 0; c < k; ++c) {
-    if (!has_mask || mask.at(r, c) != 0.0) {
+    if (!has_mask || mask.at(r, c) != T(0)) {
       pr[c] = std::exp(lr[c] - mx);
       denom += pr[c];
     } else {
-      pr[c] = 0.0;
+      pr[c] = T(0);
     }
   }
-  if (denom > 0.0) {
+  if (denom > T(0)) {
+    // Elementwise normalization: per-element division is correctly rounded
+    // regardless of vector width, so the pragma is bit-safe for both types.
+    TEAL_SIMD_LOOP
     for (int c = 0; c < k; ++c) pr[c] /= denom;
   }
 }
 }  // namespace
 
-void softmax_rows(const Mat& logits, const Mat& mask, Mat& probs) {
+template <typename T>
+void softmax_rows(const BasicMat<T>& logits, const BasicMat<T>& mask, BasicMat<T>& probs) {
   const int n = logits.rows(), k = logits.cols();
   const bool has_mask = !mask.empty();
   probs.resize(n, k);
   for_rows(n, [&](int r) { softmax_row(logits, mask, probs, has_mask, r); });
 }
 
-void softmax_rows_range(const Mat& logits, const Mat& mask, Mat& probs, int row_begin,
-                        int row_end) {
+template <typename T>
+void softmax_rows_range(const BasicMat<T>& logits, const BasicMat<T>& mask,
+                        BasicMat<T>& probs, int row_begin, int row_end) {
   if (!probs.same_shape(logits)) {
     throw std::invalid_argument("softmax_rows_range: probs must be pre-sized");
   }
@@ -173,5 +258,24 @@ void softmax_rows_backward(const Mat& probs, const Mat& gy, Mat& gx) {
     for (int c = 0; c < k; ++c) xr[c] = pr[c] * (gr[c] - dotpg);
   });
 }
+
+// Explicit instantiations: the reference f64 kernels and the f32 inference
+// mirrors. Declarations in mat.h resolve against these.
+template void linear_forward<double>(const Mat&, const Mat&, const std::vector<double>&,
+                                     Mat&);
+template void linear_forward<float>(const MatF&, const MatF&, const std::vector<float>&,
+                                    MatF&);
+template void linear_forward_rows<double>(const Mat&, const Mat&, const std::vector<double>&,
+                                          Mat&, int, int);
+template void linear_forward_rows<float>(const MatF&, const MatF&, const std::vector<float>&,
+                                         MatF&, int, int);
+template void leaky_relu_forward<double>(const Mat&, Mat&, double);
+template void leaky_relu_forward<float>(const MatF&, MatF&, double);
+template void leaky_relu_forward_rows<double>(const Mat&, Mat&, int, int, double);
+template void leaky_relu_forward_rows<float>(const MatF&, MatF&, int, int, double);
+template void softmax_rows<double>(const Mat&, const Mat&, Mat&);
+template void softmax_rows<float>(const MatF&, const MatF&, MatF&);
+template void softmax_rows_range<double>(const Mat&, const Mat&, Mat&, int, int);
+template void softmax_rows_range<float>(const MatF&, const MatF&, MatF&, int, int);
 
 }  // namespace teal::nn

@@ -27,6 +27,19 @@ void Linear::backward(const Mat& x, const Mat& gy, Mat& gx) {
   linear_backward(x, weight_.w, gy, gx, weight_.g, bias_.g.data());
 }
 
+LinearF32 Linear::snapshot_f32() const {
+  LinearF32 s;
+  s.w.resize(weight_.w.rows(), weight_.w.cols());
+  for (std::size_t i = 0; i < weight_.w.size(); ++i) {
+    s.w.data()[i] = static_cast<float>(weight_.w.data()[i]);
+  }
+  s.b.resize(bias_.w.data().size());
+  for (std::size_t i = 0; i < s.b.size(); ++i) {
+    s.b[i] = static_cast<float>(bias_.w.data()[i]);
+  }
+  return s;
+}
+
 Adam::Adam(std::vector<Param*> params, double lr_in, double beta1, double beta2, double eps)
     : lr(lr_in), params_(std::move(params)), beta1_(beta1), beta2_(beta2), eps_(eps) {
   m_.reserve(params_.size());

@@ -26,6 +26,22 @@ struct Param {
 // Xavier-uniform init, the default for the small dense layers here.
 void xavier_init(Mat& w, util::Rng& rng);
 
+// f32 inference snapshot of a Linear: weights and bias narrowed once, read-only
+// afterwards. The narrowed solve path (TealScheme::set_precision(f32)) runs its
+// forward through these snapshots while training and the f64 path keep using
+// the double parameters — re-snapshot (Linear::snapshot_f32) after any further
+// parameter update.
+struct LinearF32 {
+  MatF w;               // (out, in)
+  std::vector<float> b; // (out)
+
+  void forward_rows(const MatF& x, MatF& y, int row_begin, int row_end) const {
+    linear_forward_rows(x, w, b, y, row_begin, row_end);
+  }
+  int in_features() const { return w.cols(); }
+  int out_features() const { return w.rows(); }
+};
+
 class Linear {
  public:
   Linear() = default;
@@ -38,6 +54,9 @@ class Linear {
   void forward_rows(const Mat& x, Mat& y, int row_begin, int row_end) const;
   // Accumulates parameter grads and writes input grad.
   void backward(const Mat& x, const Mat& gy, Mat& gx);
+
+  // Narrows the current parameters into an f32 inference snapshot.
+  LinearF32 snapshot_f32() const;
 
   int in_features() const { return weight_.w.cols(); }
   int out_features() const { return weight_.w.rows(); }

@@ -115,6 +115,7 @@ OnlineResult run_online(te::Scheme& scheme, const te::Problem& pb,
     guard.prev = scheme.shard_count();
     scheme.set_shard_count(cfg.shard_count);
   }
+  te::Scheme::ScopedPrecision precision_guard(scheme, cfg.precision);
   if (scheme.supports_parallel_batch()) {
     // One batched solve pass over the whole trace, then the staleness replay
     // over the measured times. Solving matrices the replay never deploys is

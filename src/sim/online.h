@@ -32,6 +32,7 @@
 // mapping does.
 #pragma once
 
+#include <optional>
 #include <vector>
 
 #include "te/scheme.h"
@@ -50,6 +51,11 @@ struct OnlineConfig {
   // axes itself: multi-matrix traces run as across-matrix fan-out with
   // sequential inners, a single-matrix trace as one sharded solve).
   int shard_count = 0;
+  // NN-forward precision for the run's solves, applied and restored the same
+  // way (ignored by schemes without f32 support); nullopt leaves the
+  // scheme's own setting untouched, mirroring shard_count's 0. f32 trades a
+  // bounded allocation perturbation for the vectorized narrowed forward.
+  std::optional<te::Precision> precision;
 };
 
 struct IntervalResult {

@@ -35,6 +35,11 @@ ServedResult run_served(const te::Problem& pb, const traffic::Trace& trace,
 ServedResult run_served(te::Scheme& scheme, const te::Problem& pb,
                         const traffic::Trace& trace, const ServedConfig& cfg,
                         const serve::SchemeFactory& factory) {
+  // Precision is a scheme-level switch (weight snapshots, not per-solve
+  // state), so it must be set before the replica threads start (Server's
+  // constructor, inside the inner run_served) and restored only after they
+  // join — mid-run switching would race with the replicas' solves.
+  te::Scheme::ScopedPrecision precision_guard(scheme, cfg.precision);
   return run_served(
       pb, trace,
       serve::make_replicas(scheme, cfg.n_replicas, factory, cfg.shard_count), cfg);

@@ -12,6 +12,8 @@
 // serve_scaling bench sweeps replica counts with.
 #pragma once
 
+#include <optional>
+
 #include "serve/replica.h"
 #include "serve/server.h"
 #include "te/problem.h"
@@ -28,6 +30,13 @@ struct ServedConfig {
   // when a lone replica would leave pool threads idle), 1 = sequential,
   // n = exact. Bit-identical results for every value; latency-only knob.
   int shard_count = 0;
+  // NN-forward precision for the served solves (applied via
+  // te::Scheme::set_precision before the replica threads start, restored
+  // after the run; ignored by schemes without f32 support); nullopt leaves
+  // the scheme's own setting untouched, mirroring shard_count's 0. Unlike
+  // the shard knob this perturbs allocations within the tested f32 error
+  // bound.
+  std::optional<te::Precision> precision;
   serve::ServeConfig serve;
 };
 

@@ -4,6 +4,10 @@
 
 namespace teal::te {
 
+const char* precision_name(Precision p) {
+  return p == Precision::f32 ? "f32" : "f64";
+}
+
 void Scheme::solve_into(const Problem& pb, const TrafficMatrix& tm, Allocation& out) {
   out = solve(pb, tm);
 }

@@ -23,6 +23,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
@@ -50,6 +51,15 @@ struct BatchSolve {
   std::vector<double> solve_seconds;
   double wall_seconds = 0.0;
 };
+
+// Numeric precision of a scheme's NN forward pass (the set_precision knob).
+// f64 is the reference everywhere; f32 mirrors the paper's fp32 GPU
+// inference — only the neural forward narrows, the ADMM fine-tune and every
+// reduction stay double, so the flow-allocation error is bounded by logit
+// rounding alone (tests/precision_test.cpp measures the bound per topology).
+enum class Precision { f64, f32 };
+
+const char* precision_name(Precision p);
 
 class Scheme {
  public:
@@ -102,6 +112,44 @@ class Scheme {
   // ignored by schemes without sharding support.
   virtual void set_shard_count(int /*n*/) {}
   virtual int shard_count() const { return 1; }
+
+  // True when the scheme can run its solve at precision `p`. LP baselines
+  // are f64-only; TealScheme also supports f32 (narrowed NN forward).
+  virtual bool supports_precision(Precision p) const { return p == Precision::f64; }
+
+  // Precision knob, mirroring the shard knob's conventions: callers check
+  // supports_precision() first; schemes without f32 support ignore the call.
+  // Unlike the shard knob this is NOT a pure latency knob — f32 perturbs the
+  // allocation within the tested error bound — and switching precision may
+  // do one-time work (weight snapshots), so it must not race with concurrent
+  // solves: set it before serving/batching starts.
+  virtual void set_precision(Precision /*p*/) {}
+  virtual Precision precision() const { return Precision::f64; }
+
+  // Scoped apply/restore of the precision knob, shared by the run drivers
+  // (sim::run_online, sim::run_served): engages only when `p` is set,
+  // differs from the scheme's current setting and is supported; restores the
+  // previous setting on destruction. The scheme must outlive the scope and
+  // must not solve concurrently at the moments of apply/restore.
+  class ScopedPrecision {
+   public:
+    ScopedPrecision(Scheme& scheme, std::optional<Precision> p) {
+      if (p.has_value() && *p != scheme.precision() && scheme.supports_precision(*p)) {
+        scheme_ = &scheme;
+        prev_ = scheme.precision();
+        scheme.set_precision(*p);
+      }
+    }
+    ~ScopedPrecision() {
+      if (scheme_ != nullptr) scheme_->set_precision(prev_);
+    }
+    ScopedPrecision(const ScopedPrecision&) = delete;
+    ScopedPrecision& operator=(const ScopedPrecision&) = delete;
+
+   private:
+    Scheme* scheme_ = nullptr;
+    Precision prev_ = Precision::f64;
+  };
 
   // Called when link capacities change (failures §5.3). Default: nothing —
   // most schemes read capacities from the Problem on each solve.

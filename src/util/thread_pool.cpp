@@ -1,6 +1,8 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <cctype>
+#include <cerrno>
 #include <cstdlib>
 
 #include "util/thread_name.h"
@@ -142,17 +144,33 @@ void ThreadPool::run_region(std::size_t n, RegionThunk thunk, void* ctx) {
   if (error) std::rethrow_exception(error);
 }
 
+std::size_t pool_threads_from_env(const char* value) {
+  if (value == nullptr) return 0;
+  errno = 0;
+  char* end = nullptr;
+  const long long n = std::strtoll(value, &end, 10);
+  if (end == value) return 0;  // no digits at all ("", "abc")
+  // Trailing garbage ("8x", "4 workers") invalidates the whole value —
+  // accepting the prefix would silently honor a typo. Trailing whitespace
+  // (e.g. from a shell export) is fine.
+  for (const char* p = end; *p != '\0'; ++p) {
+    if (!std::isspace(static_cast<unsigned char>(*p))) return 0;
+  }
+  if (errno == ERANGE) return 0;  // overflowed the parse
+  if (n <= 0) return 0;           // "0", negatives: no meaningful pool size
+  if (static_cast<unsigned long long>(n) > kMaxPoolThreads) return 0;
+  return static_cast<std::size_t>(n);
+}
+
 ThreadPool& ThreadPool::global() {
   // TEAL_POOL_THREADS overrides the hardware-sized default. Raising it above
   // the core count buys no speedup, but it lets single-core machines (and
   // race detectors there) exercise the real cross-thread fan-out paths.
-  static ThreadPool pool([] {
-    if (const char* env = std::getenv("TEAL_POOL_THREADS")) {
-      const long n = std::strtol(env, nullptr, 10);
-      if (n > 0) return static_cast<std::size_t>(n);
-    }
-    return std::size_t{0};  // 0 = hardware concurrency
-  }());
+  // Garbage, zero, negative or overflowing values fall back to the hardware
+  // default (pool_threads_from_env returns the constructor's 0 sentinel —
+  // the same count available_parallelism() reports) instead of reaching the
+  // thread-spawn loop.
+  static ThreadPool pool(pool_threads_from_env(std::getenv("TEAL_POOL_THREADS")));
   return pool;
 }
 

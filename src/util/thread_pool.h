@@ -51,6 +51,20 @@ inline ChunkPlan chunk_plan(std::size_t n, std::size_t n_threads) {
   return {chunk, (n + chunk - 1) / chunk};
 }
 
+// Hard ceiling for the TEAL_POOL_THREADS override. Far above any real
+// machine; it exists so an overflowing or absurd value degrades to the
+// hardware default instead of asking the OS for millions of threads.
+inline constexpr std::size_t kMaxPoolThreads = 1024;
+
+// Parses a TEAL_POOL_THREADS value. Returns the requested worker count, or
+// 0 — the ThreadPool constructor's "size to the hardware" sentinel, i.e.
+// what available_parallelism() resolves to — when the value is null, empty,
+// not a fully-numeric decimal, non-positive, or above kMaxPoolThreads
+// (including values that overflow the parse). Exposed for unit testing; the
+// global pool feeds getenv("TEAL_POOL_THREADS") through it exactly once at
+// construction.
+std::size_t pool_threads_from_env(const char* value);
+
 class ThreadPool {
  public:
   // Creates a pool with `n_threads` workers. `n_threads == 0` selects the

@@ -7,6 +7,7 @@
 #include <filesystem>
 
 #include "core/model.h"
+#include "core/teal_scheme.h"
 #include "topo/topology.h"
 #include "traffic/traffic.h"
 
@@ -183,6 +184,55 @@ TEST(PolicyNet, LayerCountConfigurable) {
     EXPECT_EQ(fwd.logits.rows(), 5);
     EXPECT_EQ(fwd.logits.cols(), 4);
   }
+}
+
+TEST(MaskGuard, FullyMaskedRowWithPathsThrows) {
+  // The policy-boundary contract: a demand that owns paths must keep at
+  // least one nonzero mask entry, otherwise the masked softmax emits an
+  // all-zero split row that downstream ADMM consumes silently.
+  auto pb = tiny_problem();
+  nn::Mat mask(pb.num_demands(), pb.k_paths(), 1.0);
+  EXPECT_NO_THROW(core::check_policy_mask_rows(pb, mask, 0, pb.num_demands()));
+  for (int c = 0; c < pb.k_paths(); ++c) mask.at(1, c) = 0.0;
+  EXPECT_THROW(core::check_policy_mask_rows(pb, mask, 0, pb.num_demands()),
+               std::logic_error);
+  // A slice that does not cover the offending demand stays clean (the solve
+  // path checks per shard slice).
+  EXPECT_NO_THROW(core::check_policy_mask_rows(pb, mask, 2, pb.num_demands()));
+}
+
+// A model that zeroes the mask row of demand 0 — which does have paths —
+// mimicking a buggy masked-variant or corrupted path structure.
+class ZeroMaskModel : public core::TealModel {
+ public:
+  using core::TealModel::TealModel;
+  void forward_ws(const te::Problem& pb, const te::TrafficMatrix& tm,
+                  const std::vector<double>* capacities, core::ModelForward& fwd,
+                  const core::ShardPlan& shards,
+                  core::ShardStat* stats) const override {
+    core::TealModel::forward_ws(pb, tm, capacities, fwd, shards, stats);
+    for (int c = 0; c < fwd.mask.cols(); ++c) fwd.mask.at(0, c) = 0.0;
+  }
+};
+
+TEST(MaskGuard, SchemeSolveRejectsFullyMaskedDemand) {
+  // Regression for the silent-zero-allocation bug: the solve must throw at
+  // the policy boundary instead of handing ADMM an all-zero split row.
+  auto pb = tiny_problem();
+  core::TealScheme scheme(
+      pb, std::make_unique<ZeroMaskModel>(core::TealModelConfig{}, pb.k_paths(), 5),
+      core::TealSchemeConfig{});
+  EXPECT_THROW(scheme.solve(pb, tiny_tm()), std::logic_error);
+}
+
+TEST(MaskGuard, ValidModelSolvesClean) {
+  // The guard must not fire on the healthy pipeline (every demand here has
+  // at least one path, so every mask row has a nonzero entry).
+  auto pb = tiny_problem();
+  core::TealScheme scheme(
+      pb, std::make_unique<core::TealModel>(core::TealModelConfig{}, pb.k_paths(), 5),
+      core::TealSchemeConfig{});
+  EXPECT_NO_THROW(scheme.solve(pb, tiny_tm()));
 }
 
 TEST(FlowGnn, ComputationIndependentOfTrafficValues) {

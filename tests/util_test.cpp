@@ -49,6 +49,39 @@ TEST(ThreadPool, ZeroAndOneElementRanges) {
   EXPECT_EQ(count, 1);
 }
 
+TEST(ThreadPool, EnvOverrideParsesValidValues) {
+  EXPECT_EQ(util::pool_threads_from_env("1"), 1u);
+  EXPECT_EQ(util::pool_threads_from_env("8"), 8u);
+  EXPECT_EQ(util::pool_threads_from_env("  8"), 8u);   // leading whitespace (strtoll)
+  EXPECT_EQ(util::pool_threads_from_env("8 "), 8u);    // trailing whitespace (shell export)
+  EXPECT_EQ(util::pool_threads_from_env("+4"), 4u);
+  EXPECT_EQ(util::pool_threads_from_env("1024"), 1024u);  // at the ceiling
+}
+
+TEST(ThreadPool, EnvOverrideRejectsGarbage) {
+  // 0 is the ThreadPool constructor's "size to the hardware" sentinel — the
+  // fallback available_parallelism() resolves to.
+  EXPECT_EQ(util::pool_threads_from_env(nullptr), 0u);
+  EXPECT_EQ(util::pool_threads_from_env(""), 0u);
+  EXPECT_EQ(util::pool_threads_from_env("abc"), 0u);
+  EXPECT_EQ(util::pool_threads_from_env("8x"), 0u);          // trailing garbage
+  EXPECT_EQ(util::pool_threads_from_env("4 workers"), 0u);   // ditto
+  EXPECT_EQ(util::pool_threads_from_env("3.5"), 0u);         // not an integer
+  EXPECT_EQ(util::pool_threads_from_env(" "), 0u);
+}
+
+TEST(ThreadPool, EnvOverrideRejectsNonPositiveAndOverflow) {
+  EXPECT_EQ(util::pool_threads_from_env("0"), 0u);
+  EXPECT_EQ(util::pool_threads_from_env("-3"), 0u);
+  EXPECT_EQ(util::pool_threads_from_env("-9999999999999999999"), 0u);
+  // Above the sanity ceiling: would otherwise ask the OS for that many
+  // threads at static-init time.
+  EXPECT_EQ(util::pool_threads_from_env("1025"), 0u);
+  EXPECT_EQ(util::pool_threads_from_env("1000000"), 0u);
+  // Overflows long long entirely (strtoll saturates + ERANGE).
+  EXPECT_EQ(util::pool_threads_from_env("99999999999999999999999999"), 0u);
+}
+
 TEST(Rng, Deterministic) {
   util::Rng a(7), b(7);
   for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
