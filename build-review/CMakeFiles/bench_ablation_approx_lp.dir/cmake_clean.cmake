@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_approx_lp.dir/bench/ablation_approx_lp.cpp.o"
+  "CMakeFiles/bench_ablation_approx_lp.dir/bench/ablation_approx_lp.cpp.o.d"
+  "bench_ablation_approx_lp"
+  "bench_ablation_approx_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_approx_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

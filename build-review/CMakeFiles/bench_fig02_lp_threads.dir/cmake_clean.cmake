@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig02_lp_threads.dir/bench/fig02_lp_threads.cpp.o"
+  "CMakeFiles/bench_fig02_lp_threads.dir/bench/fig02_lp_threads.cpp.o.d"
+  "bench_fig02_lp_threads"
+  "bench_fig02_lp_threads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_lp_threads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_main.dir/bench/fig06_main.cpp.o"
+  "CMakeFiles/bench_fig06_main.dir/bench/fig06_main.cpp.o.d"
+  "bench_fig06_main"
+  "bench_fig06_main.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_main.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

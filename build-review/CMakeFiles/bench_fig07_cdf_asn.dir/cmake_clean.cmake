@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_cdf_asn.dir/bench/fig07_cdf_asn.cpp.o"
+  "CMakeFiles/bench_fig07_cdf_asn.dir/bench/fig07_cdf_asn.cpp.o.d"
+  "bench_fig07_cdf_asn"
+  "bench_fig07_cdf_asn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_cdf_asn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_asn_failures.dir/bench/fig09_asn_failures.cpp.o"
+  "CMakeFiles/bench_fig09_asn_failures.dir/bench/fig09_asn_failures.cpp.o.d"
+  "bench_fig09_asn_failures"
+  "bench_fig09_asn_failures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_asn_failures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_mlu.dir/bench/fig11_mlu.cpp.o"
+  "CMakeFiles/bench_fig11_mlu.dir/bench/fig11_mlu.cpp.o.d"
+  "bench_fig11_mlu"
+  "bench_fig11_mlu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_mlu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_offline.dir/bench/fig13_offline.cpp.o"
+  "CMakeFiles/bench_fig13_offline.dir/bench/fig13_offline.cpp.o.d"
+  "bench_fig13_offline"
+  "bench_fig13_offline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_offline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_tsne.dir/bench/fig16_tsne.cpp.o"
+  "CMakeFiles/bench_fig16_tsne.dir/bench/fig16_tsne.cpp.o.d"
+  "bench_fig16_tsne"
+  "bench_fig16_tsne.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_tsne.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig18_timeseries.dir/bench/fig18_timeseries.cpp.o"
+  "CMakeFiles/bench_fig18_timeseries.dir/bench/fig18_timeseries.cpp.o.d"
+  "bench_fig18_timeseries"
+  "bench_fig18_timeseries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_timeseries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

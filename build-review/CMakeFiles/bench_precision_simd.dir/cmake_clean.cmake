@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_precision_simd.dir/bench/precision_simd.cpp.o"
+  "CMakeFiles/bench_precision_simd.dir/bench/precision_simd.cpp.o.d"
+  "bench_precision_simd"
+  "bench_precision_simd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_precision_simd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_serve_scaling.dir/bench/serve_scaling.cpp.o"
+  "CMakeFiles/bench_serve_scaling.dir/bench/serve_scaling.cpp.o.d"
+  "bench_serve_scaling"
+  "bench_serve_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_serve_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_admm_test.dir/tests/core_admm_test.cpp.o"
+  "CMakeFiles/core_admm_test.dir/tests/core_admm_test.cpp.o.d"
+  "core_admm_test"
+  "core_admm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_admm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

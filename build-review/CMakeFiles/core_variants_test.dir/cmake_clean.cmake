@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_variants_test.dir/tests/core_variants_test.cpp.o"
+  "CMakeFiles/core_variants_test.dir/tests/core_variants_test.cpp.o.d"
+  "core_variants_test"
+  "core_variants_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_variants_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_failover.dir/examples/failover.cpp.o"
+  "CMakeFiles/example_failover.dir/examples/failover.cpp.o.d"
+  "example_failover"
+  "example_failover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

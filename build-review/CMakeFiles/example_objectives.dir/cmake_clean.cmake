@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_objectives.dir/examples/objectives.cpp.o"
+  "CMakeFiles/example_objectives.dir/examples/objectives.cpp.o.d"
+  "example_objectives"
+  "example_objectives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_objectives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_online_control_loop.dir/examples/online_control_loop.cpp.o"
+  "CMakeFiles/example_online_control_loop.dir/examples/online_control_loop.cpp.o.d"
+  "example_online_control_loop"
+  "example_online_control_loop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_online_control_loop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

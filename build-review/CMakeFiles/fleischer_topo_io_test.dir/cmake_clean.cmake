@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fleischer_topo_io_test.dir/tests/fleischer_topo_io_test.cpp.o"
+  "CMakeFiles/fleischer_topo_io_test.dir/tests/fleischer_topo_io_test.cpp.o.d"
+  "fleischer_topo_io_test"
+  "fleischer_topo_io_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fleischer_topo_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/precision_test.dir/tests/precision_test.cpp.o"
+  "CMakeFiles/precision_test.dir/tests/precision_test.cpp.o.d"
+  "precision_test"
+  "precision_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/precision_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

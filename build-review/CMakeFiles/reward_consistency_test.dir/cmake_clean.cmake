@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reward_consistency_test.dir/tests/reward_consistency_test.cpp.o"
+  "CMakeFiles/reward_consistency_test.dir/tests/reward_consistency_test.cpp.o.d"
+  "reward_consistency_test"
+  "reward_consistency_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reward_consistency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

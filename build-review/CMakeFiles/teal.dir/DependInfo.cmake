@@ -1,0 +1,60 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/tsne.cpp" "CMakeFiles/teal.dir/src/analysis/tsne.cpp.o" "gcc" "CMakeFiles/teal.dir/src/analysis/tsne.cpp.o.d"
+  "/root/repo/src/baselines/lp_schemes.cpp" "CMakeFiles/teal.dir/src/baselines/lp_schemes.cpp.o" "gcc" "CMakeFiles/teal.dir/src/baselines/lp_schemes.cpp.o.d"
+  "/root/repo/src/baselines/ncflow.cpp" "CMakeFiles/teal.dir/src/baselines/ncflow.cpp.o" "gcc" "CMakeFiles/teal.dir/src/baselines/ncflow.cpp.o.d"
+  "/root/repo/src/baselines/pop.cpp" "CMakeFiles/teal.dir/src/baselines/pop.cpp.o" "gcc" "CMakeFiles/teal.dir/src/baselines/pop.cpp.o.d"
+  "/root/repo/src/baselines/teavar.cpp" "CMakeFiles/teal.dir/src/baselines/teavar.cpp.o" "gcc" "CMakeFiles/teal.dir/src/baselines/teavar.cpp.o.d"
+  "/root/repo/src/core/admm.cpp" "CMakeFiles/teal.dir/src/core/admm.cpp.o" "gcc" "CMakeFiles/teal.dir/src/core/admm.cpp.o.d"
+  "/root/repo/src/core/coma.cpp" "CMakeFiles/teal.dir/src/core/coma.cpp.o" "gcc" "CMakeFiles/teal.dir/src/core/coma.cpp.o.d"
+  "/root/repo/src/core/direct_loss.cpp" "CMakeFiles/teal.dir/src/core/direct_loss.cpp.o" "gcc" "CMakeFiles/teal.dir/src/core/direct_loss.cpp.o.d"
+  "/root/repo/src/core/flow_gnn.cpp" "CMakeFiles/teal.dir/src/core/flow_gnn.cpp.o" "gcc" "CMakeFiles/teal.dir/src/core/flow_gnn.cpp.o.d"
+  "/root/repo/src/core/model.cpp" "CMakeFiles/teal.dir/src/core/model.cpp.o" "gcc" "CMakeFiles/teal.dir/src/core/model.cpp.o.d"
+  "/root/repo/src/core/policy_net.cpp" "CMakeFiles/teal.dir/src/core/policy_net.cpp.o" "gcc" "CMakeFiles/teal.dir/src/core/policy_net.cpp.o.d"
+  "/root/repo/src/core/reward.cpp" "CMakeFiles/teal.dir/src/core/reward.cpp.o" "gcc" "CMakeFiles/teal.dir/src/core/reward.cpp.o.d"
+  "/root/repo/src/core/shard.cpp" "CMakeFiles/teal.dir/src/core/shard.cpp.o" "gcc" "CMakeFiles/teal.dir/src/core/shard.cpp.o.d"
+  "/root/repo/src/core/teal_scheme.cpp" "CMakeFiles/teal.dir/src/core/teal_scheme.cpp.o" "gcc" "CMakeFiles/teal.dir/src/core/teal_scheme.cpp.o.d"
+  "/root/repo/src/core/variants.cpp" "CMakeFiles/teal.dir/src/core/variants.cpp.o" "gcc" "CMakeFiles/teal.dir/src/core/variants.cpp.o.d"
+  "/root/repo/src/lp/fleischer.cpp" "CMakeFiles/teal.dir/src/lp/fleischer.cpp.o" "gcc" "CMakeFiles/teal.dir/src/lp/fleischer.cpp.o.d"
+  "/root/repo/src/lp/path_lp.cpp" "CMakeFiles/teal.dir/src/lp/path_lp.cpp.o" "gcc" "CMakeFiles/teal.dir/src/lp/path_lp.cpp.o.d"
+  "/root/repo/src/lp/pdhg.cpp" "CMakeFiles/teal.dir/src/lp/pdhg.cpp.o" "gcc" "CMakeFiles/teal.dir/src/lp/pdhg.cpp.o.d"
+  "/root/repo/src/lp/simplex.cpp" "CMakeFiles/teal.dir/src/lp/simplex.cpp.o" "gcc" "CMakeFiles/teal.dir/src/lp/simplex.cpp.o.d"
+  "/root/repo/src/lp/sparse.cpp" "CMakeFiles/teal.dir/src/lp/sparse.cpp.o" "gcc" "CMakeFiles/teal.dir/src/lp/sparse.cpp.o.d"
+  "/root/repo/src/nn/mat.cpp" "CMakeFiles/teal.dir/src/nn/mat.cpp.o" "gcc" "CMakeFiles/teal.dir/src/nn/mat.cpp.o.d"
+  "/root/repo/src/nn/module.cpp" "CMakeFiles/teal.dir/src/nn/module.cpp.o" "gcc" "CMakeFiles/teal.dir/src/nn/module.cpp.o.d"
+  "/root/repo/src/serve/replica.cpp" "CMakeFiles/teal.dir/src/serve/replica.cpp.o" "gcc" "CMakeFiles/teal.dir/src/serve/replica.cpp.o.d"
+  "/root/repo/src/serve/server.cpp" "CMakeFiles/teal.dir/src/serve/server.cpp.o" "gcc" "CMakeFiles/teal.dir/src/serve/server.cpp.o.d"
+  "/root/repo/src/sim/online.cpp" "CMakeFiles/teal.dir/src/sim/online.cpp.o" "gcc" "CMakeFiles/teal.dir/src/sim/online.cpp.o.d"
+  "/root/repo/src/sim/served.cpp" "CMakeFiles/teal.dir/src/sim/served.cpp.o" "gcc" "CMakeFiles/teal.dir/src/sim/served.cpp.o.d"
+  "/root/repo/src/te/objective.cpp" "CMakeFiles/teal.dir/src/te/objective.cpp.o" "gcc" "CMakeFiles/teal.dir/src/te/objective.cpp.o.d"
+  "/root/repo/src/te/problem.cpp" "CMakeFiles/teal.dir/src/te/problem.cpp.o" "gcc" "CMakeFiles/teal.dir/src/te/problem.cpp.o.d"
+  "/root/repo/src/te/scheme.cpp" "CMakeFiles/teal.dir/src/te/scheme.cpp.o" "gcc" "CMakeFiles/teal.dir/src/te/scheme.cpp.o.d"
+  "/root/repo/src/topo/graph.cpp" "CMakeFiles/teal.dir/src/topo/graph.cpp.o" "gcc" "CMakeFiles/teal.dir/src/topo/graph.cpp.o.d"
+  "/root/repo/src/topo/shortest_path.cpp" "CMakeFiles/teal.dir/src/topo/shortest_path.cpp.o" "gcc" "CMakeFiles/teal.dir/src/topo/shortest_path.cpp.o.d"
+  "/root/repo/src/topo/topo_io.cpp" "CMakeFiles/teal.dir/src/topo/topo_io.cpp.o" "gcc" "CMakeFiles/teal.dir/src/topo/topo_io.cpp.o.d"
+  "/root/repo/src/topo/topo_stats.cpp" "CMakeFiles/teal.dir/src/topo/topo_stats.cpp.o" "gcc" "CMakeFiles/teal.dir/src/topo/topo_stats.cpp.o.d"
+  "/root/repo/src/topo/topology.cpp" "CMakeFiles/teal.dir/src/topo/topology.cpp.o" "gcc" "CMakeFiles/teal.dir/src/topo/topology.cpp.o.d"
+  "/root/repo/src/traffic/traffic.cpp" "CMakeFiles/teal.dir/src/traffic/traffic.cpp.o" "gcc" "CMakeFiles/teal.dir/src/traffic/traffic.cpp.o.d"
+  "/root/repo/src/util/alloc_hook.cpp" "CMakeFiles/teal.dir/src/util/alloc_hook.cpp.o" "gcc" "CMakeFiles/teal.dir/src/util/alloc_hook.cpp.o.d"
+  "/root/repo/src/util/csv.cpp" "CMakeFiles/teal.dir/src/util/csv.cpp.o" "gcc" "CMakeFiles/teal.dir/src/util/csv.cpp.o.d"
+  "/root/repo/src/util/histogram.cpp" "CMakeFiles/teal.dir/src/util/histogram.cpp.o" "gcc" "CMakeFiles/teal.dir/src/util/histogram.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "CMakeFiles/teal.dir/src/util/rng.cpp.o" "gcc" "CMakeFiles/teal.dir/src/util/rng.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "CMakeFiles/teal.dir/src/util/stats.cpp.o" "gcc" "CMakeFiles/teal.dir/src/util/stats.cpp.o.d"
+  "/root/repo/src/util/thread_name.cpp" "CMakeFiles/teal.dir/src/util/thread_name.cpp.o" "gcc" "CMakeFiles/teal.dir/src/util/thread_name.cpp.o.d"
+  "/root/repo/src/util/thread_pool.cpp" "CMakeFiles/teal.dir/src/util/thread_pool.cpp.o" "gcc" "CMakeFiles/teal.dir/src/util/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

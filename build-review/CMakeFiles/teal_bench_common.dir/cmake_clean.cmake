@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/teal_bench_common.dir/bench/common.cpp.o"
+  "CMakeFiles/teal_bench_common.dir/bench/common.cpp.o.d"
+  "libteal_bench_common.a"
+  "libteal_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/teal_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

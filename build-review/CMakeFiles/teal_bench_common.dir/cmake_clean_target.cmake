@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libteal_bench_common.a"
+)
