@@ -7,6 +7,8 @@
 #include <fstream>
 #include <iterator>
 
+#include "util/thread_pool.h"
+
 namespace teal::bench {
 
 bool fast_mode() {
@@ -56,7 +58,13 @@ std::string model_cache_path(const std::string& topo, te::Objective obj) {
   // a cached model would load for *any* scale — key the cache by the bench
   // scale to keep fast-mode and full-run models apart.
   const std::string scale_tag = fast_mode() ? "fast" : "full";
-  return (dir / (topo + "_" + te::to_string(obj) + "_" + scale_tag + ".bin")).string();
+  // Training-semantics version: bump whenever the trained bits change for
+  // the same seed/config (t2 = the PR 5 deterministic noise streams +
+  // rollout batching), so stale caches re-train instead of silently loading
+  // old-semantics weights — load_params checks only shapes, not provenance.
+  const std::string train_tag = "t2";
+  return (dir / (topo + "_" + te::to_string(obj) + "_" + scale_tag + "_" + train_tag + ".bin"))
+      .string();
 }
 
 std::unique_ptr<core::TealScheme> make_teal(Instance& inst, te::Objective obj,
@@ -70,6 +78,15 @@ std::unique_ptr<core::TealScheme> make_teal(Instance& inst, te::Objective obj,
   opts.coma.lr = 3e-3;
   opts.coma.mc_samples = 4;
   opts.coma.validation = &inst.split.val;  // epoch snapshot selection
+  // Workspace-batched training (core::TrainContext). The rollout batch is a
+  // fixed constant, NOT sized to the machine: batch size changes
+  // optimizer-step granularity and therefore the trained bits, and cached
+  // models must be identical on every host (the determinism contract). Only
+  // the worker count — pure throughput, bit-identical for every value — may
+  // vary per machine (TEAL_TRAIN_WORKERS; 0/garbage = auto).
+  opts.rollout_batch = 4;
+  opts.workers =
+      static_cast<int>(util::pool_threads_from_env(std::getenv("TEAL_TRAIN_WORKERS")));
   opts.cache_path = model_cache_path(inst.name, obj);
   return core::make_teal_scheme(inst.pb, inst.split.train, cfg, opts);
 }

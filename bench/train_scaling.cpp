@@ -1,0 +1,155 @@
+// train_scaling — worker sweep of the workspace-batched training pipeline.
+//
+// Not a paper figure: this bench measures the repo's own batched training
+// (core::TrainContext), the fourth parallelism axis after solve_batch,
+// serving replicas and demand shards. The fig06 model-training step is the
+// workload: COMA* epochs over a SWAN-scale instance, rollout batches fanned
+// over 1 → pool-width workers, with the bit-identity contract (parameters
+// byte-equal to the 1-worker run at every sweep point) checked alongside the
+// throughput numbers. The paper trains on a GPU for days (§5.1); what this
+// sweep demonstrates is that the CPU reproduction's training step scales
+// with cores without changing a single trained bit.
+//
+// Output: a table on stdout, bench_out/train_scaling.csv, and — when run
+// from the repo root — an inserted entry in the EXPERIMENTS.md "Training
+// scaling ledger". On a single-core machine the sweep degenerates (workers
+// inline); set TEAL_POOL_THREADS to exercise the fan-out paths anyway.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/common.h"
+#include "core/coma.h"
+#include "core/model.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+using namespace teal;
+
+namespace {
+
+struct SweepRow {
+  int workers = 0;          // requested (0 = auto)
+  double seconds = 0.0;     // wall time of the training run
+  double speedup = 0.0;     // vs 1 worker
+  std::uint64_t warm_allocs = 0;
+  bool identical = false;   // parameters byte-equal to the 1-worker run
+};
+
+std::vector<std::vector<double>> snapshot_params(core::Model& model) {
+  std::vector<std::vector<double>> out;
+  for (auto* p : model.params()) out.push_back(p->w.data());
+  return out;
+}
+
+bool params_equal(const std::vector<std::vector<double>>& a,
+                  const std::vector<std::vector<double>>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].size() != b[i].size() ||
+        std::memcmp(a[i].data(), b[i].data(), a[i].size() * sizeof(double)) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void append_experiments_ledger(const std::vector<SweepRow>& rows, int n_demands,
+                               int rollout_batch, std::size_t pool_threads,
+                               unsigned hw_threads) {
+  std::string entry;
+  entry += "\n\n### Run " + bench::ledger_stamp();
+  entry += " — SWAN, " + std::to_string(n_demands) + " demands, rollout batch " +
+           std::to_string(rollout_batch) + ", pool " + std::to_string(pool_threads) +
+           " threads on " + std::to_string(hw_threads) + " hardware" +
+           (bench::fast_mode() ? " (fast mode)" : "") + "\n\n" +
+           "| workers | train wall (s) | speedup | warm-step allocs | bit-identical |\n" +
+           "|---|---|---|---|---|\n";
+  for (const auto& r : rows) {
+    entry += "| " + (r.workers == 0 ? std::string("auto") : std::to_string(r.workers)) +
+             " | " + util::fmt(r.seconds, 3) + " | " + util::fmt(r.speedup, 2) + "x | " +
+             std::to_string(r.warm_allocs) + " | " + (r.identical ? "yes" : "NO") + " |\n";
+  }
+  bench::insert_ledger_entry("<!-- bench_train_scaling inserts runs below this line -->",
+                             entry);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Training scaling",
+                      "workspace-batched COMA* training, worker sweep on SWAN");
+  auto inst = bench::make_instance("SWAN");
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  const std::size_t pool_threads = util::ThreadPool::global().size() + 1;
+
+  core::ComaConfig cfg;
+  cfg.epochs = bench::fast_mode() ? 1 : 3;
+  cfg.lr = 3e-3;
+  cfg.rollout_batch = static_cast<int>(pool_threads);
+
+  // Sweep: 1, 2, 4, ... up to the pool width, the pool width itself, auto.
+  std::vector<int> sweep{1};
+  for (int w = 2; w < static_cast<int>(pool_threads); w *= 2) sweep.push_back(w);
+  if (pool_threads > 1) sweep.push_back(static_cast<int>(pool_threads));
+  sweep.push_back(0);  // auto
+
+  util::Table table({"workers", "train wall s", "speedup", "warm allocs", "identical"});
+  util::Table csv({"workers", "train_wall_s", "speedup", "warm_step_allocs", "identical"});
+  std::vector<SweepRow> rows;
+  std::vector<std::vector<double>> ref_params;
+  double base_s = 0.0;
+  for (int requested : sweep) {
+    // Fresh deterministic model per point: training itself is the workload.
+    core::TealModel model(core::TealModelConfig{}, inst->pb.k_paths(), /*seed=*/3);
+    cfg.workers = requested;
+    util::Timer timer;
+    auto stats =
+        core::train_coma(model, inst->pb, inst->split.train, te::Objective::kTotalFlow, cfg);
+    SweepRow row;
+    row.workers = requested;
+    row.seconds = timer.seconds();
+    row.warm_allocs = stats.warm_step_allocs;
+    if (requested == 1) {
+      base_s = row.seconds;
+      ref_params = snapshot_params(model);
+    }
+    row.speedup = row.seconds > 0.0 && base_s > 0.0 ? base_s / row.seconds : 0.0;
+    row.identical = params_equal(ref_params, snapshot_params(model));
+    rows.push_back(row);
+    const std::string req = requested == 0 ? "auto" : std::to_string(requested);
+    table.add_row({req, util::fmt(row.seconds, 3), util::fmt(row.speedup, 2),
+                   std::to_string(row.warm_allocs), row.identical ? "yes" : "NO"});
+    csv.add_row({req, util::fmt(row.seconds, 4), util::fmt(row.speedup, 3),
+                 std::to_string(row.warm_allocs), row.identical ? "1" : "0"});
+  }
+  std::printf("%s", table.to_string().c_str());
+
+  bool all_identical = true, allocs_clean = true;
+  for (const auto& r : rows) {
+    all_identical = all_identical && r.identical;
+    allocs_clean = allocs_clean && r.warm_allocs == 0;
+  }
+  std::printf("  parameters bit-identical to the 1-worker run at every sweep point: %s\n",
+              all_identical ? "yes" : "NO");
+  std::printf("  warm training steps allocation-free at every sweep point: %s\n",
+              allocs_clean ? "yes" : "NO");
+  double speedup_at_4 = 0.0;
+  for (const auto& r : rows) {
+    if (r.workers == 4) speedup_at_4 = r.speedup;
+  }
+  if (speedup_at_4 > 0.0) {
+    std::printf("  training speedup at 4 workers: %.2fx (meaningful only on >= 4\n"
+                "  hardware threads)\n", speedup_at_4);
+  } else {
+    std::printf("  4-worker point not reached (pool %zu threads); run on >= 4 cores\n"
+                "  for the full sweep\n", pool_threads);
+  }
+
+  csv.write_csv(bench::out_dir() + "/train_scaling.csv");
+  append_experiments_ledger(rows, inst->pb.num_demands(), cfg.rollout_batch, pool_threads,
+                            hw);
+  return all_identical && allocs_clean ? 0 : 1;
+}

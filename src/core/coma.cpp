@@ -1,11 +1,12 @@
 #include "core/coma.h"
 
 #include <algorithm>
-#include <atomic>
 #include <cmath>
 #include <cstdio>
 #include <limits>
 
+#include "core/train_context.h"
+#include "util/alloc_hook.h"
 #include "util/thread_pool.h"
 
 namespace teal::core {
@@ -33,7 +34,30 @@ void row_softmax(const double* z, const double* mask, int k, double* out) {
   }
 }
 
+// Per-lane counterfactual scratch. A "lane" is whichever unit of the step
+// runs concurrently: a rollout chunk when the batch fans out, an inner
+// demand shard when a lone rollout fans its advantage pass over the pool —
+// never both at once, so one array serves both shapes.
+struct CfLane {
+  RewardSimulator::Scratch scratch;
+  std::vector<double> zc;    // candidate logits
+  std::vector<double> cand;  // candidate splits
+};
+
 }  // namespace
+
+std::uint64_t coma_noise_seed(std::uint64_t seed, int epoch, int t, std::uint64_t tag) {
+  // Domain-separated stream tree: the root is seed ^ domain so COMA's
+  // exploration noise is decorrelated from any other consumer of the same
+  // root seed, then one mix per level — epoch, rollout, demand-phase tag
+  // (epoch/rollout tags offset by 1 to keep tag 0 distinct from the root).
+  constexpr std::uint64_t kComaNoiseDomain = 1;
+  const std::uint64_t per_epoch =
+      util::Rng::mix_seed(seed ^ kComaNoiseDomain, static_cast<std::uint64_t>(epoch) + 1);
+  const std::uint64_t per_rollout =
+      util::Rng::mix_seed(per_epoch, static_cast<std::uint64_t>(t) + 1);
+  return util::Rng::mix_seed(per_rollout, tag);
+}
 
 double evaluate_model(const Model& model, const te::Problem& pb,
                       const traffic::Trace& trace, te::Objective obj) {
@@ -53,97 +77,147 @@ TrainStats train_coma(Model& model, const te::Problem& pb, const traffic::Trace&
   const int k = model.k_paths();
   const int nd = pb.num_demands();
   nn::Adam adam(model.params(), cfg.lr);
-  RewardSimulator sim(pb, obj);
   const std::vector<double> caps = pb.capacities();
 
-  // Per-worker RNGs and scratch, so counterfactual evaluation parallelizes.
-  // The fork-join region runs up to pool.size() + 1 chunks concurrently (the
-  // calling thread participates), so size the slot arrays accordingly —
-  // a wrapped slot index would be a data race on the Rng/Scratch state.
-  auto& pool = util::ThreadPool::global();
-  const std::size_t n_workers = pool.size() + 1;
-  util::Rng root(cfg.seed);
-  std::vector<util::Rng> worker_rng;
-  std::vector<RewardSimulator::Scratch> worker_scratch;
-  for (std::size_t w = 0; w < n_workers; ++w) {
-    worker_rng.push_back(root.fork(w + 1));
-    worker_scratch.push_back(sim.make_scratch());
+  TrainContext ctx;
+  ctx.prepare(model, pb, cfg.rollout_batch, cfg.workers);
+  const int batch = ctx.rollout_batch();
+
+  // Inner per-rollout demand plan: when the step's rollouts run concurrently
+  // the outer fan-out owns the threads and each rollout stays sequential;
+  // a lone rollout instead fans its per-demand stages (sampling, advantages,
+  // gradient fill) over the otherwise-idle pool — the same axis-composition
+  // rule as TealScheme::solve_batch. Either way results are bit-identical:
+  // every per-demand value depends only on (rollout, demand)-keyed streams.
+  const ShardPlan inner_auto =
+      ShardPlan::make(nd, auto_shard_count(nd, pb.total_paths()));
+  const ShardPlan inner_seq = ShardPlan::sequential(nd);
+
+  // One RewardSimulator per rollout chunk (set_state is per-rollout mutable
+  // state); one CfLane per concurrent lane.
+  std::vector<RewardSimulator> sims;
+  sims.reserve(static_cast<std::size_t>(ctx.workers()));
+  for (int c = 0; c < ctx.workers(); ++c) sims.emplace_back(pb, obj);
+  const int n_lanes = std::max(ctx.workers(), inner_auto.n_shards);
+  std::vector<CfLane> lanes(static_cast<std::size_t>(n_lanes));
+  for (auto& l : lanes) {
+    l.scratch = sims.front().make_scratch();
+    l.zc.resize(static_cast<std::size_t>(k));
+    l.cand.resize(static_cast<std::size_t>(k));
   }
 
   TrainStats stats;
   double best_val = -std::numeric_limits<double>::infinity();
   std::vector<nn::Mat> best_params;
+  int step_index = 0;
   for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
     double reward_sum = 0.0;
-    for (int t = 0; t < train.size(); ++t) {
-      const te::TrafficMatrix& tm = train.at(t);
-      auto fwd = model.forward_m(pb, tm);
+    for (int t0 = 0; t0 < train.size(); t0 += batch) {
+      const int n_active = std::min(batch, train.size() - t0);
+      const ShardPlan& plan = ctx.chunks_for(n_active) > 1 ? inner_seq : inner_auto;
+      util::AllocCounter step_allocs;
 
-      // Sample the joint action: z ~ N(mu, sigma^2) on valid slots.
-      nn::Mat z(nd, k), splits(nd, k);
-      {
-        util::Rng& rng = worker_rng[0];
-        for (int d = 0; d < nd; ++d) {
-          for (int c = 0; c < k; ++c) {
-            z.at(d, c) = fwd.logits.at(d, c) +
-                         (fwd.mask.at(d, c) != 0.0 ? cfg.sigma * rng.normal() : 0.0);
-          }
-          row_softmax(z.row_ptr(d), fwd.mask.row_ptr(d), k, splits.row_ptr(d));
-        }
-      }
-      sim.set_state(tm, caps, splits);
-      reward_sum += sim.global_reward() / std::max(1e-9, tm.total());
+      adam.zero_grad();
+      ctx.for_slots(n_active, [&](int s, int chunk) {
+        const int t = t0 + s;
+        const te::TrafficMatrix& tm = train.at(t);
+        auto& slot = ctx.slot(s);
 
-      // Counterfactual advantages, one agent at a time, in parallel.
-      std::vector<double> advantage(static_cast<std::size_t>(nd), 0.0);
-      std::atomic<std::size_t> next_worker{0};
-      pool.parallel_chunks(static_cast<std::size_t>(nd), [&](std::size_t b, std::size_t e) {
-        const std::size_t w = next_worker.fetch_add(1) % n_workers;
-        auto& rng = worker_rng[w];
-        auto& scratch = worker_scratch[w];
-        std::vector<double> zc(static_cast<std::size_t>(k));
-        std::vector<double> cand(static_cast<std::size_t>(k));
-        for (std::size_t di = b; di < e; ++di) {
-          const int d = static_cast<int>(di);
-          const double base = sim.value_of(d, splits.row_ptr(d), scratch);
-          double baseline = 0.0;
-          for (int m = 0; m < cfg.mc_samples; ++m) {
+        // Forward through the slot's workspace (allocation-free once warm;
+        // models without the seam fall back to forward_m internally).
+        model.forward_ws(pb, tm, &caps, slot.ws.fwd, plan, nullptr);
+        const nn::Mat& logits = slot.ws.fwd.logits;
+        const nn::Mat& mask = slot.ws.fwd.mask;
+
+        // Sample the joint action z ~ N(mu, sigma^2) on valid slots and
+        // squash to splits — per-demand streams, disjoint rows.
+        slot.z.resize(nd, k);
+        slot.ws.splits.resize(nd, k);
+        run_sharded(plan, nullptr, [&](int /*shard*/, int d0, int d1) {
+          for (int d = d0; d < d1; ++d) {
+            util::Rng rng(coma_noise_seed(cfg.seed, epoch, t,
+                                          2 * static_cast<std::uint64_t>(d)));
             for (int c = 0; c < k; ++c) {
-              zc[static_cast<std::size_t>(c)] =
-                  fwd.logits.at(d, c) +
-                  (fwd.mask.at(d, c) != 0.0 ? cfg.sigma * rng.normal() : 0.0);
+              slot.z.at(d, c) =
+                  logits.at(d, c) +
+                  (mask.at(d, c) != 0.0 ? cfg.sigma * rng.normal() : 0.0);
             }
-            row_softmax(zc.data(), fwd.mask.row_ptr(d), k, cand.data());
-            baseline += sim.value_of(d, cand.data(), scratch);
+            row_softmax(slot.z.row_ptr(d), mask.row_ptr(d), k,
+                        slot.ws.splits.row_ptr(d));
           }
-          baseline /= std::max(1, cfg.mc_samples);
-          advantage[di] = base - baseline;
+        });
+
+        // Joint state + exact global reward (reported, not differentiated).
+        RewardSimulator& sim = sims[static_cast<std::size_t>(chunk)];
+        sim.set_state(tm, caps, slot.ws.splits);
+        slot.stat = sim.global_reward() / std::max(1e-9, tm.total());
+
+        // Counterfactual advantages, one agent at a time (Equation 2).
+        slot.advantage.assign(static_cast<std::size_t>(nd), 0.0);
+        run_sharded(plan, nullptr, [&](int shard, int d0, int d1) {
+          CfLane& lane =
+              lanes[static_cast<std::size_t>(plan.sharded() ? shard : chunk)];
+          for (int d = d0; d < d1; ++d) {
+            util::Rng rng(coma_noise_seed(cfg.seed, epoch, t,
+                                          2 * static_cast<std::uint64_t>(d) + 1));
+            const double base =
+                sim.value_of(d, slot.ws.splits.row_ptr(d), lane.scratch);
+            double baseline = 0.0;
+            for (int m = 0; m < cfg.mc_samples; ++m) {
+              for (int c = 0; c < k; ++c) {
+                lane.zc[static_cast<std::size_t>(c)] =
+                    logits.at(d, c) +
+                    (mask.at(d, c) != 0.0 ? cfg.sigma * rng.normal() : 0.0);
+              }
+              row_softmax(lane.zc.data(), mask.row_ptr(d), k, lane.cand.data());
+              baseline += sim.value_of(d, lane.cand.data(), lane.scratch);
+            }
+            baseline /= std::max(1, cfg.mc_samples);
+            slot.advantage[static_cast<std::size_t>(d)] = base - baseline;
+          }
+        });
+
+        // Scale-normalize the advantages (keeps gradients comparable across
+        // topologies without destroying per-agent sign information).
+        double sq = 0.0;
+        for (double a : slot.advantage) sq += a * a;
+        const double scale = 1.0 / (std::sqrt(sq / std::max(1, nd)) + cfg.adv_norm_eps);
+
+        // Policy gradient on the Gaussian mean: dlogpi/dmu = (z - mu)/sigma^2.
+        // We minimize -J, hence the leading minus.
+        slot.grad_logits.resize(nd, k);
+        slot.grad_logits.zero();
+        const double inv_var = 1.0 / (cfg.sigma * cfg.sigma);
+        run_sharded(plan, nullptr, [&](int /*shard*/, int d0, int d1) {
+          for (int d = d0; d < d1; ++d) {
+            const double a = slot.advantage[static_cast<std::size_t>(d)] * scale;
+            for (int c = 0; c < k; ++c) {
+              if (mask.at(d, c) != 0.0) {
+                slot.grad_logits.at(d, c) =
+                    -a * (slot.z.at(d, c) - logits.at(d, c)) * inv_var;
+              }
+            }
+          }
+        });
+
+        if (ctx.ws_path()) {
+          slot.grads.zero();
+          model.backward_ws(pb, slot.ws.fwd, slot.grad_logits, ctx.bws(chunk),
+                            slot.grads.refs());
+        } else {
+          // Legacy models: sequential by construction (workers forced to 1),
+          // accumulate straight into Param::g.
+          model.backward_m(pb, slot.ws.fwd, slot.grad_logits);
         }
       });
 
-      // Scale-normalize the advantages (keeps gradients comparable across
-      // topologies without destroying per-agent sign information).
-      double sq = 0.0;
-      for (double a : advantage) sq += a * a;
-      double scale = 1.0 / (std::sqrt(sq / std::max(1, nd)) + cfg.adv_norm_eps);
-
-      // Policy gradient on the Gaussian mean: dlogpi/dmu = (z - mu) / sigma^2.
-      // We minimize -J, hence the leading minus.
-      nn::Mat grad_logits(nd, k);
-      const double inv_var = 1.0 / (cfg.sigma * cfg.sigma);
-      for (int d = 0; d < nd; ++d) {
-        const double a = advantage[static_cast<std::size_t>(d)] * scale;
-        for (int c = 0; c < k; ++c) {
-          if (fwd.mask.at(d, c) != 0.0) {
-            grad_logits.at(d, c) = -a * (z.at(d, c) - fwd.logits.at(d, c)) * inv_var;
-          }
-        }
-      }
-
-      adam.zero_grad();
-      model.backward_m(pb, fwd, grad_logits);
+      if (ctx.ws_path()) ctx.reduce(n_active);
       adam.clip_grad_norm(cfg.grad_clip);
       adam.step();
+      for (int s = 0; s < n_active; ++s) reward_sum += ctx.slot(s).stat;
+
+      if (step_index > 0) stats.warm_step_allocs += step_allocs.count();
+      ++step_index;
     }
     double mean_reward = reward_sum / std::max(1, train.size());
     stats.epoch_reward.push_back(mean_reward);
@@ -155,7 +229,7 @@ TrainStats train_coma(Model& model, const te::Problem& pb, const traffic::Trace&
         best_val = score;
         stats.best_epoch = epoch;
         best_params.clear();
-        for (nn::Param* p : model.params()) best_params.push_back(p->w);
+        for (nn::Param* p : ctx.params()) best_params.push_back(p->w);
       }
     }
     if (cfg.verbose) {
@@ -167,7 +241,7 @@ TrainStats train_coma(Model& model, const te::Problem& pb, const traffic::Trace&
   }
   // Restore the best validation snapshot.
   if (!best_params.empty()) {
-    auto params = model.params();
+    auto& params = ctx.params();
     for (std::size_t i = 0; i < params.size(); ++i) params[i]->w = best_params[i];
   }
   return stats;

@@ -15,6 +15,18 @@
 //   4. the policy gradient g = E[ sum_i A_i * grad log pi(a_i|s_i) ]
 //      (Equation 3), backpropagated end to end through the policy network
 //      *and* FlowGNN, then applied with Adam.
+//
+// Execution model (the workspace-batched pipeline, DESIGN.md "Training
+// pipeline"): rollouts are processed in batches of `rollout_batch` matrices
+// per Adam step, fanned over up to `workers` pool chunks — one
+// core::TrainContext slot (SolveWorkspace + gradient accumulator) per
+// rollout, one backward scratch per worker, then a strictly ordered
+// sequential reduction into Param::g. Exploration noise is keyed per
+// (rollout, demand) via coma_noise_seed() rather than per worker, so the
+// trained parameters are bit-identical for every worker count; the worker
+// knob is pure throughput. rollout_batch = 1 keeps the paper's
+// one-step-per-matrix semantics; larger batches trade gradient freshness
+// for cross-rollout parallelism.
 #pragma once
 
 #include <functional>
@@ -34,6 +46,15 @@ struct ComaConfig {
   double adv_norm_eps = 1e-6;
   std::uint64_t seed = 123;
   bool verbose = false;
+  // Rollouts per Adam step. 1 (default) = the seed per-matrix semantics;
+  // larger batches accumulate gradients over `rollout_batch` matrices before
+  // stepping, which is what the worker fan-out parallelizes across.
+  int rollout_batch = 1;
+  // Concurrent rollout workers (core::TrainContext): 0 = auto (threads
+  // available to the calling context, capped by rollout_batch), 1 =
+  // sequential, n = at most n. Pure throughput knob — trained parameters are
+  // bit-identical for every value (tests/train_test.cpp).
+  int workers = 0;
   // Optional validation matrices: after each epoch the deployment-mode (mean
   // action) objective is evaluated on them and the best-scoring parameters
   // are restored at the end — policy-gradient training drifts, and the paper
@@ -45,7 +66,20 @@ struct TrainStats {
   std::vector<double> epoch_reward;      // mean global reward per epoch
   std::vector<double> epoch_validation;  // mean validation score (if enabled)
   int best_epoch = -1;                   // epoch whose params were kept
+  // Heap allocations observed during optimizer steps after the first (the
+  // workspace contract: warm training steps allocate nothing on the
+  // workspace path — tests/train_test.cpp asserts 0).
+  std::uint64_t warm_step_allocs = 0;
 };
+
+// Deterministic exploration-stream derivation (a documented contract,
+// mirrored by tests/train_test.cpp's reference trainer): rollout (epoch, t)
+// draws demand d's joint-action noise from Rng(coma_noise_seed(seed, epoch,
+// t, 2*d)) and its counterfactual baseline noise from tag 2*d + 1. Streams
+// are keyed by (rollout, demand) — never by worker or thread — which is what
+// makes training results independent of the worker count and the inner
+// shard plan.
+std::uint64_t coma_noise_seed(std::uint64_t seed, int epoch, int t, std::uint64_t tag);
 
 // Trains `model` in place on the given training matrices. Returns per-epoch
 // mean rewards so callers/tests can assert learning progress.

@@ -24,10 +24,20 @@ struct DirectLossConfig {
   double grad_clip = 10.0;
   double latency_penalty = 0.5;  // only used for kLatencyPenalizedFlow
   bool verbose = false;
+  // Rollouts per Adam step and concurrent rollout workers — identical
+  // semantics to the ComaConfig knobs (core::TrainContext): rollout_batch=1
+  // keeps the seed per-matrix semantics, workers is a pure throughput knob
+  // (bit-identical parameters for every value; the trainer is fully
+  // deterministic — it draws no random numbers at all).
+  int rollout_batch = 1;
+  int workers = 0;  // 0 = auto
 };
 
 struct DirectLossStats {
   std::vector<double> epoch_surrogate;  // mean normalized surrogate per epoch
+  // Heap allocations during optimizer steps after the first (0 on the
+  // workspace path once warm — tests/train_test.cpp asserts it).
+  std::uint64_t warm_step_allocs = 0;
 };
 
 DirectLossStats train_direct_loss(Model& model, const te::Problem& pb,

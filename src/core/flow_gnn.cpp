@@ -408,6 +408,110 @@ void FlowGnn::backward(const te::Problem& pb, const Forward& fwd,
   }
 }
 
+void FlowGnn::backward_ws(const te::Problem& pb, const Forward& fwd,
+                          const nn::Mat& grad_final_paths, BackwardWs& ws,
+                          nn::GradRefs grads) const {
+  if (grads.size() != num_params()) {
+    throw std::invalid_argument("FlowGnn::backward_ws: grads size mismatch");
+  }
+  const int ne = pb.graph().num_edges();
+  const int np = pb.total_paths();
+  const int nd = pb.num_demands();
+  const int k = k_paths_;
+  const std::size_t n_layers = edge_linear_.size();
+  // (weight, bias) accumulator pair of layer l within a layer-kind block.
+  auto pair_of = [&](std::size_t block, std::size_t l) {
+    return std::pair<nn::Mat&, nn::Mat&>(*grads[(block * n_layers + l) * 2],
+                                         *grads[(block * n_layers + l) * 2 + 1]);
+  };
+
+  ws.g_path_out.resize(np, grad_final_paths.cols());
+  std::copy(grad_final_paths.data().begin(), grad_final_paths.data().end(),
+            ws.g_path_out.data().begin());
+  ws.g_edge_out.resize(ne, dims_.back());
+  ws.g_edge_out.zero();  // the last block's edge output feeds nothing
+
+  for (int l = cfg_.n_blocks - 1; l >= 0; --l) {
+    const auto& blk = fwd.blocks[static_cast<std::size_t>(l)];
+    const int d = dims_[static_cast<std::size_t>(l)];
+    const auto ls = static_cast<std::size_t>(l);
+
+    // --- DNN layer backward. Demands with fewer than k paths leave their
+    // trailing slots untouched, so the gather buffer must start zeroed.
+    ws.g_dnn_act.resize(nd, k * d);
+    ws.g_dnn_act.zero();
+    for (int dem = 0; dem < nd; ++dem) {
+      double* row = ws.g_dnn_act.row_ptr(dem);
+      int slot = 0;
+      for (int p = pb.path_begin(dem); p < pb.path_end(dem); ++p, ++slot) {
+        std::copy(ws.g_path_out.row_ptr(p), ws.g_path_out.row_ptr(p) + d, row + slot * d);
+      }
+    }
+    nn::leaky_relu_backward(blk.dnn_pre, ws.g_dnn_act, ws.g_dnn_pre, cfg_.leaky_alpha);
+    {
+      auto [gw, gb] = pair_of(2, ls);
+      dnn_linear_[ls].backward_acc(blk.dnn_in, ws.g_dnn_pre, ws.g_dnn_in, gw, gb);
+    }
+    ws.g_path_act.resize(np, d);
+    ws.g_path_act.zero();
+    for (int dem = 0; dem < nd; ++dem) {
+      const double* row = ws.g_dnn_in.row_ptr(dem);
+      int slot = 0;
+      for (int p = pb.path_begin(dem); p < pb.path_end(dem); ++p, ++slot) {
+        std::copy(row + slot * d, row + (slot + 1) * d, ws.g_path_act.row_ptr(p));
+      }
+    }
+
+    // --- GNN layer backward (edge and path updates independent given the
+    // block inputs, exactly as in backward()).
+    nn::leaky_relu_backward(blk.path_pre, ws.g_path_act, ws.g_path_pre, cfg_.leaky_alpha);
+    {
+      auto [gw, gb] = pair_of(1, ls);
+      path_linear_[ls].backward_acc(blk.path_cat, ws.g_path_pre, ws.g_path_cat, gw, gb);
+    }
+    nn::leaky_relu_backward(blk.edge_pre, ws.g_edge_out, ws.g_edge_pre, cfg_.leaky_alpha);
+    {
+      auto [gw, gb] = pair_of(0, ls);
+      edge_linear_[ls].backward_acc(blk.edge_cat, ws.g_edge_pre, ws.g_edge_cat, gw, gb);
+    }
+
+    // Split the concat grads: [self | agg].
+    ws.g_path_in.resize(np, d);
+    ws.g_agg_edges.resize(np, d);
+    for (int p = 0; p < np; ++p) {
+      const double* src = ws.g_path_cat.row_ptr(p);
+      std::copy(src, src + d, ws.g_path_in.row_ptr(p));
+      std::copy(src + d, src + 2 * d, ws.g_agg_edges.row_ptr(p));
+    }
+    ws.g_edge_in.resize(ne, d);
+    ws.g_agg_paths.resize(ne, d);
+    for (int e = 0; e < ne; ++e) {
+      const double* src = ws.g_edge_cat.row_ptr(e);
+      std::copy(src, src + d, ws.g_edge_in.row_ptr(e));
+      std::copy(src + d, src + 2 * d, ws.g_agg_paths.row_ptr(e));
+    }
+    // Aggregation transposes (accumulate on top of the self halves).
+    scatter_grad_paths_from_edges(pb, ws.g_agg_edges, ws.g_edge_in);
+    scatter_grad_edges_from_paths(pb, ws.g_agg_paths, ws.g_path_in);
+
+    // --- Widening backward: the previous block's outputs are the leading
+    // columns of this block's inputs (appended init columns are constants).
+    if (l > 0) {
+      const int prev = dims_[ls - 1];
+      ws.g_path_out.resize(np, prev);
+      for (int p = 0; p < np; ++p) {
+        std::copy(ws.g_path_in.row_ptr(p), ws.g_path_in.row_ptr(p) + prev,
+                  ws.g_path_out.row_ptr(p));
+      }
+      ws.g_edge_out.resize(ne, prev);
+      for (int e = 0; e < ne; ++e) {
+        std::copy(ws.g_edge_in.row_ptr(e), ws.g_edge_in.row_ptr(e) + prev,
+                  ws.g_edge_out.row_ptr(e));
+      }
+    }
+  }
+}
+
 std::vector<nn::Param*> FlowGnn::params() {
   std::vector<nn::Param*> ps;
   for (auto& l : edge_linear_) {

@@ -124,7 +124,29 @@ class FlowGnn {
   // accumulating parameter gradients.
   void backward(const te::Problem& pb, const Forward& fwd, const nn::Mat& grad_final_paths);
 
+  // Workspace backward for batched training: same arithmetic as backward(),
+  // with every per-block grad temporary owned by `ws` (allocation-free once
+  // warm) and the parameter grads accumulated into `grads` — num_params()
+  // entries in params() order — instead of Param::g. const: concurrent
+  // calls with distinct ws/grads are safe.
+  struct BackwardWs {
+    nn::Mat g_path_out, g_edge_out;          // running output grads per block
+    nn::Mat g_dnn_act, g_dnn_pre, g_dnn_in;  // DNN-layer backward
+    nn::Mat g_path_act, g_path_pre, g_path_cat;
+    nn::Mat g_edge_pre, g_edge_cat;
+    nn::Mat g_path_in, g_edge_in;            // concat-split self halves
+    nn::Mat g_agg_edges, g_agg_paths;        // concat-split aggregation halves
+  };
+  void backward_ws(const te::Problem& pb, const Forward& fwd,
+                   const nn::Mat& grad_final_paths, BackwardWs& ws,
+                   nn::GradRefs grads) const;
+
   std::vector<nn::Param*> params();
+  // Layout of params()/backward_ws grads: per layer-kind blocks of (weight,
+  // bias) pairs — edge layers first, then path layers, then DNN layers.
+  std::size_t num_params() const {
+    return (edge_linear_.size() + path_linear_.size() + dnn_linear_.size()) * 2;
+  }
 
   int final_dim() const { return dims_.empty() ? 0 : dims_.back(); }
   // Working embedding dimension of block l.

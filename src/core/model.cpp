@@ -124,6 +124,34 @@ void TealModel::forward_ws(const te::Problem& pb, const te::TrafficMatrix& tm,
   out.mask = typed->mask;
 }
 
+void TealModel::backward_ws(const te::Problem& pb, const ModelForward& fwd,
+                            const nn::Mat& grad_logits, TrainBackward& bws,
+                            nn::GradRefs grads) const {
+  // Same cache-provenance contract as backward_m: only this model's f64
+  // forward cache can back-propagate.
+  if (fwd.owner != this || fwd.cache == nullptr) {
+    throw std::logic_error(
+        "TealModel::backward_ws: forward cache was not produced by this model's "
+        "f64 forward path (f32 inference caches cannot back-propagate)");
+  }
+  if (grads.size() != gnn_.num_params() + policy_.num_params()) {
+    throw std::invalid_argument("TealModel::backward_ws: grads size mismatch");
+  }
+  if (bws.owner != this || bws.cache == nullptr || bws.cache.use_count() != 1) {
+    bws.cache = std::make_shared<BackwardCache>();
+    bws.owner = this;
+  }
+  auto* ws = static_cast<BackwardCache*>(bws.cache.get());
+  const auto* typed = static_cast<const Forward*>(fwd.cache.get());
+  policy_.backward_ws(typed->policy, grad_logits, ws->policy, ws->grad_input,
+                      grads.subspan(gnn_.num_params()));
+  ws->grad_paths.resize(pb.total_paths(), gnn_.final_dim());
+  ws->grad_paths.zero();  // scatter accumulates per path slot
+  scatter_policy_input_grad(pb, ws->grad_input, k_, gnn_.final_dim(), ws->grad_paths);
+  gnn_.backward_ws(pb, typed->gnn, ws->grad_paths, ws->gnn,
+                   grads.subspan(0, gnn_.num_params()));
+}
+
 void TealModel::backward_m(const te::Problem& pb, const ModelForward& fwd,
                            const nn::Mat& grad_logits) {
   // Only an f64 cache produced by this model can back-propagate: an f32

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <memory>
+#include <stdexcept>
 #include <string>
 
 #include "core/flow_gnn.h"
@@ -25,6 +26,18 @@ namespace teal::core {
 struct ModelForward {
   nn::Mat logits;  // (D, k)
   nn::Mat mask;    // (D, k)
+  std::shared_ptr<void> cache;
+  const void* owner = nullptr;
+};
+
+// Opaque per-worker backward scratch for the workspace training path, type-
+// erased the same way ModelForward is: the owning model allocates its typed
+// grad temporaries on first use and reuses them afterwards, so warm training
+// steps run the whole backward without heap allocation. Every value inside is
+// fully overwritten per call — sharing one TrainBackward across sequential
+// rollouts on the same worker is safe; concurrent rollouts need distinct
+// objects.
+struct TrainBackward {
   std::shared_ptr<void> cache;
   const void* owner = nullptr;
 };
@@ -59,6 +72,23 @@ class Model {
                           const std::vector<double>* capacities, ModelForward& fwd,
                           const ShardPlan& /*shards*/, ShardStat* /*stats*/ = nullptr) const {
     forward_ws(pb, tm, capacities, fwd);
+  }
+
+  // Workspace training seam. supports_train_ws() gates the batched trainer
+  // pipeline: when true, backward_ws() must run the same arithmetic as
+  // backward_m() but (a) keep its grad temporaries in `bws` so warm steps
+  // allocate nothing, and (b) accumulate parameter grads into `grads`
+  // (params() order) instead of Param::g — const, so rollout workers with
+  // distinct (fwd, bws, grads) triples may run concurrently over one shared
+  // model. Models without the seam (the Figure 14 ablation variants) train
+  // through the sequential backward_m fallback path instead.
+  virtual bool supports_train_ws() const { return false; }
+  virtual void backward_ws(const te::Problem& /*pb*/, const ModelForward& /*fwd*/,
+                           const nn::Mat& /*grad_logits*/, TrainBackward& /*bws*/,
+                           nn::GradRefs /*grads*/) const {
+    throw std::logic_error(
+        "Model::backward_ws: this model has no workspace training path "
+        "(supports_train_ws() is false)");
   }
 
   // Narrowed f32 inference forward (the paper's fp32 deployment precision):
@@ -110,6 +140,15 @@ class TealModel : public Model {
   // Backward from d(loss)/d(logits) through the policy net and FlowGNN.
   void backward(const te::Problem& pb, const Forward& fwd, const nn::Mat& grad_logits);
 
+  // Typed cache behind the TrainBackward seam: the policy/GNN backward
+  // workspaces plus the two inter-module grad matrices.
+  struct BackwardCache {
+    PolicyNet::BackwardWs policy;
+    FlowGnn::BackwardWs gnn;
+    nn::Mat grad_input;  // (D, k*dim) d(loss)/d(policy input)
+    nn::Mat grad_paths;  // (N_p, dim) d(loss)/d(final path embeddings)
+  };
+
   // Workspace variant writing into (and reusing) a caller-owned Forward.
   void forward(const te::Problem& pb, const te::TrafficMatrix& tm,
                const std::vector<double>* capacities, Forward& fwd) const;
@@ -129,6 +168,10 @@ class TealModel : public Model {
                       const ShardPlan& shards, ShardStat* stats = nullptr) const override;
   void backward_m(const te::Problem& pb, const ModelForward& fwd,
                   const nn::Mat& grad_logits) override;
+  bool supports_train_ws() const override { return true; }
+  void backward_ws(const te::Problem& pb, const ModelForward& fwd,
+                   const nn::Mat& grad_logits, TrainBackward& bws,
+                   nn::GradRefs grads) const override;
   std::vector<nn::Param*> params() override;
 
   int k_paths() const override { return k_; }

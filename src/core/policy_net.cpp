@@ -108,6 +108,29 @@ void PolicyNet::backward(const Forward& fwd, const nn::Mat& grad_logits, nn::Mat
   grad_input = std::move(g_cur);
 }
 
+void PolicyNet::backward_ws(const Forward& fwd, const nn::Mat& grad_logits, BackwardWs& ws,
+                            nn::Mat& grad_input, nn::GradRefs grads) const {
+  const std::size_t n_hidden = hidden_.size();
+  if (grads.size() != num_params()) {
+    throw std::invalid_argument("PolicyNet::backward_ws: grads size mismatch");
+  }
+  const nn::Mat* last = fwd.act.empty() ? &fwd.input : &fwd.act.back();
+  // The last layer whose input-grad is produced writes straight into
+  // grad_input, so no final copy is needed.
+  nn::Mat& g_first = n_hidden == 0 ? grad_input : ws.g_cur;
+  out_.backward_acc(*last, grad_logits, g_first, *grads[2 * n_hidden],
+                    *grads[2 * n_hidden + 1]);
+  for (int i = static_cast<int>(n_hidden) - 1; i >= 0; --i) {
+    nn::leaky_relu_backward(fwd.pre[static_cast<std::size_t>(i)], ws.g_cur, ws.g_pre,
+                            cfg_.leaky_alpha);
+    const nn::Mat* input = i == 0 ? &fwd.input : &fwd.act[static_cast<std::size_t>(i) - 1];
+    nn::Mat& gx = i == 0 ? grad_input : ws.g_cur;
+    hidden_[static_cast<std::size_t>(i)].backward_acc(
+        *input, ws.g_pre, gx, *grads[static_cast<std::size_t>(2 * i)],
+        *grads[static_cast<std::size_t>(2 * i) + 1]);
+  }
+}
+
 std::vector<nn::Param*> PolicyNet::params() {
   std::vector<nn::Param*> ps;
   for (auto& l : hidden_) {

@@ -72,7 +72,19 @@ class PolicyNet {
   // Backward from d(loss)/d(logits); writes d(loss)/d(input).
   void backward(const Forward& fwd, const nn::Mat& grad_logits, nn::Mat& grad_input);
 
+  // Workspace backward for batched training: identical arithmetic to
+  // backward(), but the per-layer grad temporaries live in `ws` (warm calls
+  // allocate nothing) and the parameter grads accumulate into `grads` —
+  // num_params() entries in params() order — instead of Param::g. const:
+  // concurrent calls with distinct ws/grads are safe.
+  struct BackwardWs {
+    nn::Mat g_cur, g_pre;
+  };
+  void backward_ws(const Forward& fwd, const nn::Mat& grad_logits, BackwardWs& ws,
+                   nn::Mat& grad_input, nn::GradRefs grads) const;
+
   std::vector<nn::Param*> params();
+  std::size_t num_params() const { return (hidden_.size() + 1) * 2; }
 
   int k_paths() const { return k_paths_; }
   int in_dim() const { return in_dim_; }

@@ -24,17 +24,21 @@ void RewardSimulator::set_state(const te::TrafficMatrix& tm,
   tm_ = &tm;
   caps_ = capacities;
   splits_ = splits;
-  te::Allocation a = allocation_from_splits(pb_, splits);
-  load_ = te::edge_loads(pb_, tm, a);
+  allocation_from_splits_into(pb_, splits, alloc_);
+  te::edge_loads_into(pb_, tm, alloc_, load_);
+  // Global reward through the shared *_from_loads evaluation forms — the
+  // same arithmetic objective_score runs, with every buffer reused.
   switch (obj_) {
     case te::Objective::kTotalFlow:
-      global_reward_ = te::total_feasible_flow(pb_, tm, a, &caps_);
+      global_reward_ =
+          te::total_feasible_flow_from_loads(pb_, tm, alloc_, caps_, load_, factor_);
       break;
     case te::Objective::kMinMaxLinkUtil:
-      global_reward_ = -te::max_link_utilization(pb_, tm, a, &caps_);
+      global_reward_ = -te::max_link_utilization_from_loads(caps_, load_);
       break;
     case te::Objective::kLatencyPenalizedFlow:
-      global_reward_ = te::latency_penalized_flow(pb_, tm, a, latency_penalty_, &caps_);
+      global_reward_ = te::latency_penalized_flow_from_loads(
+          pb_, tm, alloc_, latency_penalty_, caps_, load_, factor_);
       break;
   }
 }

@@ -35,7 +35,9 @@ class RewardSimulator {
   RewardSimulator(const te::Problem& pb, te::Objective obj, double latency_penalty = 0.5);
 
   // Fixes the per-interval inputs and the joint action (a (D, k) split
-  // matrix). Recomputes joint loads.
+  // matrix). Recomputes joint loads. Allocation-free once warm (all scratch
+  // lives in member buffers), so the batched trainer can call it every
+  // rollout without breaking the zero-alloc training-step contract.
   void set_state(const te::TrafficMatrix& tm, const std::vector<double>& capacities,
                  const nn::Mat& splits);
 
@@ -65,7 +67,9 @@ class RewardSimulator {
   const te::TrafficMatrix* tm_ = nullptr;
   std::vector<double> caps_;
   nn::Mat splits_;
-  std::vector<double> load_;  // joint intended load per edge
+  te::Allocation alloc_;        // joint action as a flat allocation (reused)
+  std::vector<double> load_;    // joint intended load per edge
+  std::vector<double> factor_;  // per-edge survival factors (reused)
   double global_reward_ = 0.0;
 };
 

@@ -158,9 +158,15 @@ void train_or_load_model(Model& model, const te::Problem& pb, const traffic::Tra
                          te::Objective objective, const TealTrainOptions& opts) {
   if (!opts.cache_path.empty() && model.load(opts.cache_path)) return;
   if (opts.trainer == Trainer::kComaStar) {
-    train_coma(model, pb, train, objective, opts.coma);
+    ComaConfig cfg = opts.coma;
+    if (opts.workers >= 0) cfg.workers = opts.workers;
+    if (opts.rollout_batch > 0) cfg.rollout_batch = opts.rollout_batch;
+    train_coma(model, pb, train, objective, cfg);
   } else {
-    train_direct_loss(model, pb, train, objective, opts.direct);
+    DirectLossConfig cfg = opts.direct;
+    if (opts.workers >= 0) cfg.workers = opts.workers;
+    if (opts.rollout_batch > 0) cfg.rollout_batch = opts.rollout_batch;
+    train_direct_loss(model, pb, train, objective, cfg);
   }
   if (!opts.cache_path.empty()) {
     model.save(opts.cache_path);

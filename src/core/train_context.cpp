@@ -1,0 +1,33 @@
+#include "core/train_context.h"
+
+namespace teal::core {
+
+void TrainContext::prepare(Model& model, const te::Problem& /*pb*/, int rollout_batch,
+                           int workers) {
+  ws_path_ = model.supports_train_ws();
+  rollout_batch_ = std::max(1, rollout_batch);
+  int w = workers;
+  if (!ws_path_) {
+    // backward_m accumulates into the shared Param::g — concurrent rollouts
+    // would race, so the legacy path is sequential by construction.
+    w = 1;
+  } else if (w == 0) {
+    // Auto: the threads a new fork-join region from this thread can use,
+    // never more than there are rollouts to run.
+    w = static_cast<int>(util::ThreadPool::available_parallelism());
+  }
+  workers_ = std::clamp(w, 1, rollout_batch_);
+  const util::ChunkPlan plan =
+      util::chunk_plan(static_cast<std::size_t>(rollout_batch_),
+                       static_cast<std::size_t>(workers_));
+  chunk_ = std::max<int>(1, static_cast<int>(plan.chunk));
+
+  params_ = model.params();
+  slots_.resize(static_cast<std::size_t>(rollout_batch_));
+  if (ws_path_) {
+    for (auto& s : slots_) s.grads.prepare(params_);
+  }
+  bws_.resize(static_cast<std::size_t>(std::max(1, chunks_for(rollout_batch_))));
+}
+
+}  // namespace teal::core

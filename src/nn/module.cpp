@@ -27,6 +27,39 @@ void Linear::backward(const Mat& x, const Mat& gy, Mat& gx) {
   linear_backward(x, weight_.w, gy, gx, weight_.g, bias_.g.data());
 }
 
+void Linear::backward_acc(const Mat& x, const Mat& gy, Mat& gx, Mat& gw, Mat& gb) const {
+  linear_backward(x, weight_.w, gy, gx, gw, gb.data());
+}
+
+void GradAccum::prepare(const std::vector<Param*>& params) {
+  if (g_.size() == params.size()) {
+    bool match = true;
+    for (std::size_t i = 0; i < g_.size(); ++i) {
+      match = match && g_[i].same_shape(params[i]->g);
+    }
+    if (match) return;
+  }
+  g_.resize(params.size());
+  refs_.resize(params.size());
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    g_[i].resize(params[i]->g.rows(), params[i]->g.cols());
+    g_[i].zero();
+    refs_[i] = &g_[i];
+  }
+}
+
+void GradAccum::zero() {
+  for (Mat& m : g_) m.zero();
+}
+
+void GradAccum::reduce_into(const std::vector<Param*>& params) const {
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    auto& dst = params[i]->g.data();
+    const auto& src = g_[i].data();
+    for (std::size_t j = 0; j < dst.size(); ++j) dst[j] += src[j];
+  }
+}
+
 LinearF32 Linear::snapshot_f32() const {
   LinearF32 s;
   s.w.resize(weight_.w.rows(), weight_.w.cols());

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -21,6 +22,35 @@ struct Param {
 
   explicit Param(int rows = 0, int cols = 0) : w(rows, cols), g(rows, cols) {}
   void zero_grad() { g.zero(); }
+};
+
+// View of per-parameter gradient targets in params() order. The workspace
+// backward passes (Linear::backward_acc and the model backward_ws chains)
+// accumulate into these instead of the layers' own Param::g — the explicit
+// accumulator seam that lets batched training give every rollout its own
+// gradient set and reduce them in a fixed order afterwards.
+using GradRefs = std::span<Mat* const>;
+
+// One gradient accumulator per parameter, shaped like `params` and addressed
+// through refs(). Rollout workers accumulate into disjoint GradAccums
+// (commuting writes), then reduce_into() folds them into Param::g strictly
+// in call order — so the summed gradient is bit-identical for every worker
+// count (same contract as core::ShardPlan, but for parameter space).
+class GradAccum {
+ public:
+  // Sizes the set to match `params` (no-op when already matching, so warm
+  // training steps pay nothing).
+  void prepare(const std::vector<Param*>& params);
+  void zero();
+  GradRefs refs() const { return {refs_.data(), refs_.size()}; }
+
+  // Param::g += this set, elementwise, sequentially. Callers reduce the
+  // per-rollout sets in rollout order to keep bit-identity.
+  void reduce_into(const std::vector<Param*>& params) const;
+
+ private:
+  std::vector<Mat> g_;
+  std::vector<Mat*> refs_;
 };
 
 // Xavier-uniform init, the default for the small dense layers here.
@@ -54,6 +84,12 @@ class Linear {
   void forward_rows(const Mat& x, Mat& y, int row_begin, int row_end) const;
   // Accumulates parameter grads and writes input grad.
   void backward(const Mat& x, const Mat& gy, Mat& gx);
+  // Accumulator-seam backward: same arithmetic as backward(), but the
+  // parameter grads land in caller-owned buffers (gw shaped (out, in), gb
+  // shaped (1, out)) instead of this layer's Param::g. const because the
+  // layer itself stays read-only — concurrent calls with distinct targets
+  // are safe, which is what fans batched training out across workers.
+  void backward_acc(const Mat& x, const Mat& gy, Mat& gx, Mat& gw, Mat& gb) const;
 
   // Narrows the current parameters into an f32 inference snapshot.
   LinearF32 snapshot_f32() const;

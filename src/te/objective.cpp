@@ -17,48 +17,83 @@ std::string to_string(Objective obj) {
 
 std::vector<double> edge_loads(const Problem& pb, const TrafficMatrix& tm,
                                const Allocation& a) {
-  std::vector<double> load(static_cast<std::size_t>(pb.graph().num_edges()), 0.0);
+  std::vector<double> load;
+  edge_loads_into(pb, tm, a, load);
+  return load;
+}
+
+void edge_loads_into(const Problem& pb, const TrafficMatrix& tm, const Allocation& a,
+                     std::vector<double>& load) {
+  load.assign(static_cast<std::size_t>(pb.graph().num_edges()), 0.0);
   for (int p = 0; p < pb.total_paths(); ++p) {
     double f = a.split[static_cast<std::size_t>(p)] *
                tm.volume[static_cast<std::size_t>(pb.demand_of_path(p))];
     if (f <= 0.0) continue;
     for (topo::EdgeId e : pb.path_edges(p)) load[static_cast<std::size_t>(e)] += f;
   }
-  return load;
 }
+
+namespace {
+
+// Per-edge survival factor min(1, c/load); 0 for failed (capacity 0) links.
+void survival_factors(const std::vector<double>& caps, const std::vector<double>& load,
+                      std::vector<double>& factor) {
+  factor.assign(load.size(), 1.0);
+  for (std::size_t e = 0; e < load.size(); ++e) {
+    if (load[e] > caps[e]) {
+      factor[e] = load[e] > 0.0 ? caps[e] / load[e] : 1.0;
+    }
+  }
+}
+
+// Delivered volume of path p under `factor` (0 contribution for f <= 0,
+// mirroring delivered_per_path's zero entries).
+double delivered_path(const Problem& pb, const TrafficMatrix& tm, const Allocation& a,
+                      const std::vector<double>& factor, int p) {
+  double f = a.split[static_cast<std::size_t>(p)] *
+             tm.volume[static_cast<std::size_t>(pb.demand_of_path(p))];
+  if (f <= 0.0) return 0.0;
+  double surv = 1.0;
+  for (topo::EdgeId e : pb.path_edges(p)) {
+    surv = std::min(surv, factor[static_cast<std::size_t>(e)]);
+  }
+  return f * surv;
+}
+
+}  // namespace
 
 std::vector<double> delivered_per_path(const Problem& pb, const TrafficMatrix& tm,
                                        const Allocation& a,
                                        const std::vector<double>* capacities) {
   std::vector<double> caps = capacities ? *capacities : pb.capacities();
   std::vector<double> load = edge_loads(pb, tm, a);
-  // Per-edge survival factor min(1, c/load); 0 for failed (capacity 0) links.
-  std::vector<double> factor(load.size(), 1.0);
-  for (std::size_t e = 0; e < load.size(); ++e) {
-    if (load[e] > caps[e]) {
-      factor[e] = load[e] > 0.0 ? caps[e] / load[e] : 1.0;
-    }
-  }
+  std::vector<double> factor;
+  survival_factors(caps, load, factor);
   std::vector<double> delivered(static_cast<std::size_t>(pb.total_paths()), 0.0);
   for (int p = 0; p < pb.total_paths(); ++p) {
-    double f = a.split[static_cast<std::size_t>(p)] *
-               tm.volume[static_cast<std::size_t>(pb.demand_of_path(p))];
-    if (f <= 0.0) continue;
-    double surv = 1.0;
-    for (topo::EdgeId e : pb.path_edges(p)) {
-      surv = std::min(surv, factor[static_cast<std::size_t>(e)]);
-    }
-    delivered[static_cast<std::size_t>(p)] = f * surv;
+    delivered[static_cast<std::size_t>(p)] = delivered_path(pb, tm, a, factor, p);
   }
   return delivered;
 }
 
+double total_feasible_flow_from_loads(const Problem& pb, const TrafficMatrix& tm,
+                                      const Allocation& a, const std::vector<double>& caps,
+                                      const std::vector<double>& load,
+                                      std::vector<double>& factor_scratch) {
+  survival_factors(caps, load, factor_scratch);
+  double total = 0.0;
+  for (int p = 0; p < pb.total_paths(); ++p) {
+    total += delivered_path(pb, tm, a, factor_scratch, p);
+  }
+  return total;
+}
+
 double total_feasible_flow(const Problem& pb, const TrafficMatrix& tm, const Allocation& a,
                            const std::vector<double>* capacities) {
-  auto del = delivered_per_path(pb, tm, a, capacities);
-  double total = 0.0;
-  for (double v : del) total += v;
-  return total;
+  std::vector<double> caps = capacities ? *capacities : pb.capacities();
+  std::vector<double> load = edge_loads(pb, tm, a);
+  std::vector<double> factor;
+  return total_feasible_flow_from_loads(pb, tm, a, caps, load, factor);
 }
 
 double satisfied_demand_pct(const Problem& pb, const TrafficMatrix& tm, const Allocation& a,
@@ -68,10 +103,8 @@ double satisfied_demand_pct(const Problem& pb, const TrafficMatrix& tm, const Al
   return 100.0 * total_feasible_flow(pb, tm, a, capacities) / td;
 }
 
-double max_link_utilization(const Problem& pb, const TrafficMatrix& tm, const Allocation& a,
-                            const std::vector<double>* capacities) {
-  std::vector<double> caps = capacities ? *capacities : pb.capacities();
-  auto load = edge_loads(pb, tm, a);
+double max_link_utilization_from_loads(const std::vector<double>& caps,
+                                       const std::vector<double>& load) {
   double mlu = 0.0;
   for (std::size_t e = 0; e < load.size(); ++e) {
     if (caps[e] > 0.0) {
@@ -83,33 +116,57 @@ double max_link_utilization(const Problem& pb, const TrafficMatrix& tm, const Al
   return mlu;
 }
 
-double latency_penalized_flow(const Problem& pb, const TrafficMatrix& tm, const Allocation& a,
-                              double penalty, const std::vector<double>* capacities) {
+double max_link_utilization(const Problem& pb, const TrafficMatrix& tm, const Allocation& a,
+                            const std::vector<double>* capacities) {
+  std::vector<double> caps = capacities ? *capacities : pb.capacities();
+  auto load = edge_loads(pb, tm, a);
+  return max_link_utilization_from_loads(caps, load);
+}
+
+double latency_penalized_flow_from_loads(const Problem& pb, const TrafficMatrix& tm,
+                                         const Allocation& a, double penalty,
+                                         const std::vector<double>& caps,
+                                         const std::vector<double>& load,
+                                         std::vector<double>& factor_scratch) {
   double max_lat = 1e-12;
   for (int p = 0; p < pb.total_paths(); ++p) max_lat = std::max(max_lat, pb.path_latency(p));
-  auto del = delivered_per_path(pb, tm, a, capacities);
+  survival_factors(caps, load, factor_scratch);
   double total = 0.0;
   for (int p = 0; p < pb.total_paths(); ++p) {
     double w = std::max(0.0, 1.0 - penalty * pb.path_latency(p) / max_lat);
-    total += del[static_cast<std::size_t>(p)] * w;
+    total += delivered_path(pb, tm, a, factor_scratch, p) * w;
   }
   return total;
 }
 
-double surrogate_loss_value(const Problem& pb, const TrafficMatrix& tm, const Allocation& a,
-                            const std::vector<double>* capacities) {
+double latency_penalized_flow(const Problem& pb, const TrafficMatrix& tm, const Allocation& a,
+                              double penalty, const std::vector<double>* capacities) {
   std::vector<double> caps = capacities ? *capacities : pb.capacities();
+  std::vector<double> load = edge_loads(pb, tm, a);
+  std::vector<double> factor;
+  return latency_penalized_flow_from_loads(pb, tm, a, penalty, caps, load, factor);
+}
+
+double surrogate_loss_value_from_loads(const Problem& pb, const TrafficMatrix& tm,
+                                       const Allocation& a, const std::vector<double>& caps,
+                                       const std::vector<double>& load) {
   double intended = 0.0;
   for (int p = 0; p < pb.total_paths(); ++p) {
     intended += a.split[static_cast<std::size_t>(p)] *
                 tm.volume[static_cast<std::size_t>(pb.demand_of_path(p))];
   }
-  auto load = edge_loads(pb, tm, a);
   double overuse = 0.0;
   for (std::size_t e = 0; e < load.size(); ++e) {
     overuse += std::max(0.0, load[e] - caps[e]);
   }
   return intended - overuse;
+}
+
+double surrogate_loss_value(const Problem& pb, const TrafficMatrix& tm, const Allocation& a,
+                            const std::vector<double>* capacities) {
+  std::vector<double> caps = capacities ? *capacities : pb.capacities();
+  auto load = edge_loads(pb, tm, a);
+  return surrogate_loss_value_from_loads(pb, tm, a, caps, load);
 }
 
 double objective_score(const Problem& pb, const TrafficMatrix& tm, const Allocation& a,

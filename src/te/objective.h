@@ -33,6 +33,35 @@ std::string to_string(Objective obj);
 std::vector<double> edge_loads(const Problem& pb, const TrafficMatrix& tm,
                                const Allocation& a);
 
+// Same, into a caller-owned buffer (capacity reused on warm calls) — the
+// per-step form the workspace-batched trainers drive. Accumulation order is
+// identical to edge_loads(), so the two are bit-equal.
+void edge_loads_into(const Problem& pb, const TrafficMatrix& tm, const Allocation& a,
+                     std::vector<double>& load);
+
+// Allocation-free evaluation forms over precomputed intended loads
+// (edge_loads_into). These are the single source of truth for the objective
+// arithmetic: the allocating functions below delegate to them, and warm-path
+// consumers (RewardSimulator::set_state, the direct-loss training step) call
+// them directly with reused buffers — so trainer-side values are bit-equal
+// to objective_score by construction, not by parallel implementation.
+// `factor_scratch` holds the per-edge survival factors (resized/overwritten
+// per call; capacity reused when warm).
+double total_feasible_flow_from_loads(const Problem& pb, const TrafficMatrix& tm,
+                                      const Allocation& a, const std::vector<double>& caps,
+                                      const std::vector<double>& load,
+                                      std::vector<double>& factor_scratch);
+double max_link_utilization_from_loads(const std::vector<double>& caps,
+                                       const std::vector<double>& load);
+double latency_penalized_flow_from_loads(const Problem& pb, const TrafficMatrix& tm,
+                                         const Allocation& a, double penalty,
+                                         const std::vector<double>& caps,
+                                         const std::vector<double>& load,
+                                         std::vector<double>& factor_scratch);
+double surrogate_loss_value_from_loads(const Problem& pb, const TrafficMatrix& tm,
+                                       const Allocation& a, const std::vector<double>& caps,
+                                       const std::vector<double>& load);
+
 // Per-path delivered volume after proportional dropping: each path delivers
 // split * volume * min over its edges of min(1, capacity/load). `capacities`
 // defaults to the problem graph's (pass a modified copy for failures; failed

@@ -24,6 +24,20 @@ class Rng {
     return Rng(s ^ (tag * 0xBF58476D1CE4E5B9ull + 0x94D049BB133111EBull));
   }
 
+  // Stateless seed derivation: a splitmix64 round on `seed` combined with
+  // fork()'s tag mixer. Unlike fork() it mutates nothing, so parallel workers
+  // can construct per-item generators — Rng(mix_seed(base, item)) — in any
+  // order, on any thread, and draw identical streams. The batched trainers
+  // key their per-demand exploration noise this way, which is what makes the
+  // trained parameters bit-identical for every worker count.
+  static std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t tag) {
+    std::uint64_t z = seed + 0x9E3779B97F4A7C15ull;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    z ^= z >> 31;
+    return z ^ (tag * 0xBF58476D1CE4E5B9ull + 0x94D049BB133111EBull);
+  }
+
   double uniform(double lo = 0.0, double hi = 1.0) {
     return std::uniform_real_distribution<double>(lo, hi)(engine_);
   }
