@@ -60,9 +60,11 @@ std::string model_cache_path(const std::string& topo, te::Objective obj) {
   const std::string scale_tag = fast_mode() ? "fast" : "full";
   // Training-semantics version: bump whenever the trained bits change for
   // the same seed/config (t2 = the PR 5 deterministic noise streams +
-  // rollout batching), so stale caches re-train instead of silently loading
-  // old-semantics weights — load_params checks only shapes, not provenance.
-  const std::string train_tag = "t2";
+  // rollout batching; t3 = counter-based noise RNG + the Rng spare-caching
+  // fix, which shift both the traces and the exploration noise), so stale
+  // caches re-train instead of silently loading old-semantics weights —
+  // load_params checks only shapes, not provenance.
+  const std::string train_tag = "t3";
   return (dir / (topo + "_" + te::to_string(obj) + "_" + scale_tag + "_" + train_tag + ".bin"))
       .string();
 }

@@ -14,12 +14,10 @@
 // within the deadline.
 //
 // Output: a table on stdout, bench_out/serve_scaling.csv, and — when run
-// from the repo root — an appended ledger entry in EXPERIMENTS.md
-// ("Serving throughput ledger").
+// from the repo root — a ledger entry in EXPERIMENTS.md ("Serving
+// throughput ledger").
 #include <algorithm>
 #include <cstdio>
-#include <ctime>
-#include <fstream>
 #include <thread>
 
 #include "bench/common.h"
@@ -41,28 +39,23 @@ struct SweepRow {
 
 void append_experiments_ledger(const std::vector<SweepRow>& rows, int n_requests,
                                unsigned hw_threads) {
-  std::ifstream probe("EXPERIMENTS.md");
-  if (!probe.good()) {
-    std::printf("  (EXPERIMENTS.md not in cwd; ledger entry skipped — run from the repo root)\n");
-    return;
-  }
-  probe.close();
-  std::ofstream out("EXPERIMENTS.md", std::ios::app);
-  char stamp[64] = "unknown";
-  const std::time_t now = std::time(nullptr);
-  if (std::tm* tm = std::localtime(&now)) {
-    std::strftime(stamp, sizeof(stamp), "%Y-%m-%d %H:%M", tm);
-  }
-  out << "\n### Run " << stamp << " — " << n_requests << " requests, "
-      << hw_threads << " hardware threads" << (bench::fast_mode() ? " (fast mode)" : "")
-      << "\n\n"
-      << "| replicas | solves/sec | speedup | solve p50 (ms) | solve p99 (ms) | shed |\n"
-      << "|---|---|---|---|---|---|\n";
+  // Marker-based insert (newest first), like every other ledger bench: a
+  // plain end-of-file append would leak entries into whatever section comes
+  // after this ledger in EXPERIMENTS.md.
+  std::string entry;
+  entry += "\n\n### Run " + bench::ledger_stamp();
+  entry += " — " + std::to_string(n_requests) + " requests, " +
+           std::to_string(hw_threads) + " hardware threads" +
+           (bench::fast_mode() ? " (fast mode)" : "");
+  entry += "\n\n| replicas | solves/sec | speedup | solve p50 (ms) | solve p99 (ms) | shed |\n";
+  entry += "|---|---|---|---|---|---|\n";
   for (const auto& r : rows) {
-    out << "| " << r.replicas << " | " << util::fmt(r.solves_per_sec, 1) << " | "
-        << util::fmt(r.speedup, 2) << "x | " << util::fmt(r.solve_p50_ms, 3) << " | "
-        << util::fmt(r.solve_p99_ms, 3) << " | " << r.shed << " |\n";
+    entry += "| " + std::to_string(r.replicas) + " | " + util::fmt(r.solves_per_sec, 1) +
+             " | " + util::fmt(r.speedup, 2) + "x | " + util::fmt(r.solve_p50_ms, 3) +
+             " | " + util::fmt(r.solve_p99_ms, 3) + " | " + std::to_string(r.shed) + " |\n";
   }
+  bench::insert_ledger_entry("<!-- bench_serve_scaling appends runs below this line -->",
+                             entry);
 }
 
 }  // namespace

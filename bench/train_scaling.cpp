@@ -40,7 +40,10 @@ struct SweepRow {
 
 std::vector<std::vector<double>> snapshot_params(core::Model& model) {
   std::vector<std::vector<double>> out;
-  for (auto* p : model.params()) out.push_back(p->w.data());
+  for (auto* p : model.params()) {
+    const auto& w = p->w.data();
+    out.emplace_back(w.begin(), w.end());
+  }
   return out;
 }
 

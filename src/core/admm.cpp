@@ -58,18 +58,18 @@ Admm::Residuals Admm::fine_tune(const te::TrafficMatrix& tm,
   double scale = 1e-9;
   for (double c : capacities) scale += c;
   scale /= std::max<std::size_t>(1, capacities.size());
-  std::vector<double>& vol = ws.vol;
+  auto& vol = ws.vol;
   vol.resize(static_cast<std::size_t>(nd));
   for (int d = 0; d < nd; ++d) {
     vol[static_cast<std::size_t>(d)] = tm.volume[static_cast<std::size_t>(d)] / scale;
   }
-  std::vector<double>& cap = ws.cap;
+  auto& cap = ws.cap;
   cap.resize(static_cast<std::size_t>(ne));
   for (int e = 0; e < ne; ++e) {
     cap[static_cast<std::size_t>(e)] = capacities[static_cast<std::size_t>(e)] / scale;
   }
 
-  auto violation = [&](const std::vector<double>& x) {
+  auto violation = [&](const util::AVec<double>& x) {
     double v = 0.0;
     for (int d = 0; d < nd; ++d) {
       double sum = 0.0;
@@ -78,7 +78,7 @@ Admm::Residuals Admm::fine_tune(const te::TrafficMatrix& tm,
       }
       v += std::max(0.0, sum - 1.0);
     }
-    std::vector<double>& load = ws.load;
+    auto& load = ws.load;
     load.assign(static_cast<std::size_t>(ne), 0.0);
     for (int p = 0; p < np; ++p) {
       double f = x[static_cast<std::size_t>(p)] *
@@ -92,15 +92,15 @@ Admm::Residuals Admm::fine_tune(const te::TrafficMatrix& tm,
   };
 
   // Primal/dual state.
-  std::vector<double>& x = ws.x;
+  auto& x = ws.x;
   x.assign(a.split.begin(), a.split.end());
   for (double& xv : x) xv = std::clamp(xv, 0.0, 1.0);
   Residuals res;
   res.before = violation(x);
 
-  std::vector<double>& z = ws.z;
+  auto& z = ws.z;
   z.resize(static_cast<std::size_t>(nz));
-  std::vector<double>& l4 = ws.l4;
+  auto& l4 = ws.l4;
   l4.assign(static_cast<std::size_t>(nz), 0.0);
   for (int p = 0; p < np; ++p) {
     double f = x[static_cast<std::size_t>(p)] *
@@ -110,11 +110,11 @@ Admm::Residuals Admm::fine_tune(const te::TrafficMatrix& tm,
       z[static_cast<std::size_t>(zi)] = f;
     }
   }
-  std::vector<double>& s1 = ws.s1;
+  auto& s1 = ws.s1;
   s1.resize(static_cast<std::size_t>(nd));
-  std::vector<double>& l1 = ws.l1;
+  auto& l1 = ws.l1;
   l1.assign(static_cast<std::size_t>(nd), 0.0);
-  std::vector<double>& x_sum = ws.x_sum;
+  auto& x_sum = ws.x_sum;
   x_sum.resize(static_cast<std::size_t>(nd));
   for (int d = 0; d < nd; ++d) {
     double sum = 0.0;
@@ -124,7 +124,7 @@ Admm::Residuals Admm::fine_tune(const te::TrafficMatrix& tm,
     x_sum[static_cast<std::size_t>(d)] = sum;
     s1[static_cast<std::size_t>(d)] = std::max(0.0, 1.0 - sum);
   }
-  std::vector<double>& z_sum = ws.z_sum;
+  auto& z_sum = ws.z_sum;
   z_sum.resize(static_cast<std::size_t>(ne));
   for (int e = 0; e < ne; ++e) {
     double sum = 0.0;
@@ -133,9 +133,9 @@ Admm::Residuals Admm::fine_tune(const te::TrafficMatrix& tm,
     }
     z_sum[static_cast<std::size_t>(e)] = sum;
   }
-  std::vector<double>& s3 = ws.s3;
+  auto& s3 = ws.s3;
   s3.resize(static_cast<std::size_t>(ne));
-  std::vector<double>& l3 = ws.l3;
+  auto& l3 = ws.l3;
   l3.assign(static_cast<std::size_t>(ne), 0.0);
   for (int e = 0; e < ne; ++e) {
     s3[static_cast<std::size_t>(e)] =

@@ -23,6 +23,7 @@
 
 #include "core/shard.h"
 #include "te/problem.h"
+#include "util/arena.h"
 
 namespace teal::core {
 
@@ -54,12 +55,14 @@ class Admm {
   // fine_tune() calls reuses every buffer (allocation-free once warm); every
   // entry is fully re-initialized per call, so reuse never changes results.
   // Distinct Workspaces make concurrent fine_tune() calls on one Admm safe.
+  // Buffers are arena-aware (util::AVec): a workspace sized under a bound
+  // util::Arena draws all thirteen from the arena in one cold pass.
   struct Workspace {
-    std::vector<double> vol, cap;           // normalized volumes/capacities
-    std::vector<double> x, x_sum;           // split ratios and per-demand sums
-    std::vector<double> z, z_sum, l4;       // per-(path,edge) auxiliaries
-    std::vector<double> s1, l1, s3, l3;     // slacks and multipliers
-    std::vector<double> load;               // per-edge load (violation check)
+    util::AVec<double> vol, cap;           // normalized volumes/capacities
+    util::AVec<double> x, x_sum;           // split ratios and per-demand sums
+    util::AVec<double> z, z_sum, l4;       // per-(path,edge) auxiliaries
+    util::AVec<double> s1, l1, s3, l3;     // slacks and multipliers
+    util::AVec<double> load;               // per-edge load (violation check)
   };
 
   // Auto demand-shard plan (core::auto_shard_count).

@@ -51,7 +51,7 @@ std::uint64_t coma_noise_seed(std::uint64_t seed, int epoch, int t, std::uint64_
   // exploration noise is decorrelated from any other consumer of the same
   // root seed, then one mix per level — epoch, rollout, demand-phase tag
   // (epoch/rollout tags offset by 1 to keep tag 0 distinct from the root).
-  constexpr std::uint64_t kComaNoiseDomain = 1;
+  constexpr std::uint64_t kComaNoiseDomain = 5;
   const std::uint64_t per_epoch =
       util::Rng::mix_seed(seed ^ kComaNoiseDomain, static_cast<std::uint64_t>(epoch) + 1);
   const std::uint64_t per_rollout =
@@ -135,8 +135,8 @@ TrainStats train_coma(Model& model, const te::Problem& pb, const traffic::Trace&
         slot.ws.splits.resize(nd, k);
         run_sharded(plan, nullptr, [&](int /*shard*/, int d0, int d1) {
           for (int d = d0; d < d1; ++d) {
-            util::Rng rng(coma_noise_seed(cfg.seed, epoch, t,
-                                          2 * static_cast<std::uint64_t>(d)));
+            util::CounterRng rng(coma_noise_seed(cfg.seed, epoch, t,
+                                                 2 * static_cast<std::uint64_t>(d)));
             for (int c = 0; c < k; ++c) {
               slot.z.at(d, c) =
                   logits.at(d, c) +
@@ -158,8 +158,8 @@ TrainStats train_coma(Model& model, const te::Problem& pb, const traffic::Trace&
           CfLane& lane =
               lanes[static_cast<std::size_t>(plan.sharded() ? shard : chunk)];
           for (int d = d0; d < d1; ++d) {
-            util::Rng rng(coma_noise_seed(cfg.seed, epoch, t,
-                                          2 * static_cast<std::uint64_t>(d) + 1));
+            util::CounterRng rng(coma_noise_seed(cfg.seed, epoch, t,
+                                                 2 * static_cast<std::uint64_t>(d) + 1));
             const double base =
                 sim.value_of(d, slot.ws.splits.row_ptr(d), lane.scratch);
             double baseline = 0.0;

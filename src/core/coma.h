@@ -74,11 +74,14 @@ struct TrainStats {
 
 // Deterministic exploration-stream derivation (a documented contract,
 // mirrored by tests/train_test.cpp's reference trainer): rollout (epoch, t)
-// draws demand d's joint-action noise from Rng(coma_noise_seed(seed, epoch,
-// t, 2*d)) and its counterfactual baseline noise from tag 2*d + 1. Streams
-// are keyed by (rollout, demand) — never by worker or thread — which is what
-// makes training results independent of the worker count and the inner
-// shard plan.
+// draws demand d's joint-action noise from a stateless
+// util::CounterRng(coma_noise_seed(seed, epoch, t, 2*d)) and its
+// counterfactual baseline noise from tag 2*d + 1. Streams are keyed by
+// (rollout, demand) — never by worker or thread — which is what makes
+// training results independent of the worker count and the inner shard
+// plan. CounterRng replaced the per-draw-site mt19937_64 (a ~2.5 KB state
+// re-seeded thousands of times per epoch) with a 32-byte counter stream —
+// the cold-start PR's RNG half.
 std::uint64_t coma_noise_seed(std::uint64_t seed, int epoch, int t, std::uint64_t tag);
 
 // Trains `model` in place on the given training matrices. Returns per-epoch

@@ -514,16 +514,15 @@ void FlowGnn::backward_ws(const te::Problem& pb, const Forward& fwd,
 
 std::vector<nn::Param*> FlowGnn::params() {
   std::vector<nn::Param*> ps;
-  for (auto& l : edge_linear_) {
-    for (auto* p : l.params()) ps.push_back(p);
-  }
-  for (auto& l : path_linear_) {
-    for (auto* p : l.params()) ps.push_back(p);
-  }
-  for (auto& l : dnn_linear_) {
-    for (auto* p : l.params()) ps.push_back(p);
-  }
+  ps.reserve(num_params());
+  append_params(ps);
   return ps;
+}
+
+void FlowGnn::append_params(std::vector<nn::Param*>& out) {
+  for (auto& l : edge_linear_) l.append_params(out);
+  for (auto& l : path_linear_) l.append_params(out);
+  for (auto& l : dnn_linear_) l.append_params(out);
 }
 
 }  // namespace teal::core

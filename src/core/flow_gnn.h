@@ -69,7 +69,9 @@ class FlowGnn {
       nn::BasicMat<T> dnn_in, dnn_pre;     // per-demand concat (D x k*d) and pre-act
       nn::BasicMat<T> path_out;            // paths after the DNN layer (N_p x d)
     };
-    std::vector<Block> blocks;
+    // Arena-aware like the Mats inside: a cold forward under a bound
+    // util::Arena grows the whole block list out of the arena.
+    util::AVec<Block> blocks;
     nn::BasicMat<T> edge_feat0, path_feat0;  // initial 1-dim features (for widening)
     nn::BasicMat<T> final_paths;             // (N_p x n_blocks) final path embeddings
 
@@ -142,6 +144,9 @@ class FlowGnn {
                    nn::GradRefs grads) const;
 
   std::vector<nn::Param*> params();
+  // Appends the same pointers into a caller-reserved vector without the
+  // per-layer temporaries params() composition would cost.
+  void append_params(std::vector<nn::Param*>& out);
   // Layout of params()/backward_ws grads: per layer-kind blocks of (weight,
   // bias) pairs — edge layers first, then path layers, then DNN layers.
   std::size_t num_params() const {

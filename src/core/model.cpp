@@ -84,8 +84,10 @@ void TealModel::backward(const te::Problem& pb, const Forward& fwd,
 }
 
 std::vector<nn::Param*> TealModel::params() {
-  auto ps = gnn_.params();
-  for (auto* p : policy_.params()) ps.push_back(p);
+  std::vector<nn::Param*> ps;
+  ps.reserve(gnn_.num_params() + policy_.num_params());
+  gnn_.append_params(ps);
+  policy_.append_params(ps);
   return ps;
 }
 

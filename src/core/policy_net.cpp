@@ -133,11 +133,14 @@ void PolicyNet::backward_ws(const Forward& fwd, const nn::Mat& grad_logits, Back
 
 std::vector<nn::Param*> PolicyNet::params() {
   std::vector<nn::Param*> ps;
-  for (auto& l : hidden_) {
-    for (auto* p : l.params()) ps.push_back(p);
-  }
-  for (auto* p : out_.params()) ps.push_back(p);
+  ps.reserve(num_params());
+  append_params(ps);
   return ps;
+}
+
+void PolicyNet::append_params(std::vector<nn::Param*>& out) {
+  for (auto& l : hidden_) l.append_params(out);
+  out_.append_params(out);
 }
 
 void build_policy_input(const te::Problem& pb, const nn::Mat& path_embeddings, int k,

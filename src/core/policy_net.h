@@ -34,10 +34,10 @@ class PolicyNet {
   // ForwardT<float> (alias ForwardF) the narrowed f32 inference mirror.
   template <typename T>
   struct ForwardT {
-    nn::BasicMat<T> input;             // (D, in_dim)
-    std::vector<nn::BasicMat<T>> pre;  // hidden pre-activations
-    std::vector<nn::BasicMat<T>> act;  // hidden activations
-    nn::BasicMat<T> logits;            // (D, k)
+    nn::BasicMat<T> input;              // (D, in_dim)
+    util::AVec<nn::BasicMat<T>> pre;    // hidden pre-activations
+    util::AVec<nn::BasicMat<T>> act;    // hidden activations
+    nn::BasicMat<T> logits;             // (D, k)
   };
   using Forward = ForwardT<double>;
   using ForwardF = ForwardT<float>;
@@ -84,6 +84,9 @@ class PolicyNet {
                    nn::Mat& grad_input, nn::GradRefs grads) const;
 
   std::vector<nn::Param*> params();
+  // Appends the same pointers into a caller-reserved vector without the
+  // per-layer temporaries params() composition would cost.
+  void append_params(std::vector<nn::Param*>& out);
   std::size_t num_params() const { return (hidden_.size() + 1) * 2; }
 
   int k_paths() const { return k_paths_; }

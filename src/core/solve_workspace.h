@@ -12,6 +12,17 @@
 // read-only model, so independent traffic matrices can be solved
 // concurrently, one workspace per worker — the interface-level
 // commutativity that lets solve_batch() scale across the thread pool.
+//
+// Cold-start contract (DESIGN.md "Memory model"): the workspace's buffers
+// are arena-aware. Warming a fresh SolveWorkspace on a thread holding a
+// util::ArenaScope bump-allocates everything — the model forward caches, the
+// splits, the ADMM state, the shard slots — out of the bound arena, so
+// replica spin-up costs O(1) heap allocations (<= 5, alloc-hook-verified in
+// tests/workspace_test.cpp) and teardown is clear() + Arena::reset(). The
+// one plain-heap member is `caps`, which crosses the capacities interfaces
+// as a std::vector pointer. Binding is the *owner's* job (serve replicas and
+// TrainContext bind their own arenas); an unbound workspace behaves exactly
+// as before, entirely heap-backed.
 #pragma once
 
 #include <vector>
@@ -40,7 +51,7 @@ struct SolveWorkspace {
   // Shards write only their own slot, so they never false-share; everything
   // else they touch is disjoint *rows* of the matrices above.
   ShardPlan plan;
-  std::vector<ShardStat> shard_stats;
+  util::AVec<ShardStat> shard_stats;
 
   // Sizes and zeroes the per-shard scratch for a solve under `p`. Reuses the
   // vector's capacity, so warm solves with a stable plan allocate nothing.

@@ -140,6 +140,11 @@ class TealScheme : public te::Scheme {
   double last_seconds_ = 0.0;
   int shard_count_ = 0;                 // 0 = auto (see set_shard_count)
   te::Precision precision_ = te::Precision::f64;
+  // Backs ws_ (bound around solve_into); declared before it so teardown
+  // destroys the workspace while its memory is still mapped. The batch
+  // workspaces stay heap-backed — they warm concurrently on pool threads,
+  // where a single arena would race.
+  util::Arena arena_;
   SolveWorkspace ws_;                   // solve()/solve_into() workspace
   std::vector<SolveWorkspace> batch_ws_;  // one per batch worker, lazily grown
 };

@@ -97,7 +97,7 @@ inline float row_dot(const float* a, const float* b, int n, float seed) {
 // Shared row body of linear_forward / linear_forward_rows: identical
 // arithmetic keeps full and row-range calls bit-identical.
 template <typename T>
-inline void linear_row(const BasicMat<T>& x, const BasicMat<T>& w, const std::vector<T>& b,
+inline void linear_row(const BasicMat<T>& x, const BasicMat<T>& w, std::span<const std::type_identity_t<T>> b,
                        BasicMat<T>& y, int r) {
   const int in = x.cols(), out = w.rows();
   const T* xr = x.row_ptr(r);
@@ -109,7 +109,7 @@ inline void linear_row(const BasicMat<T>& x, const BasicMat<T>& w, const std::ve
 }  // namespace
 
 template <typename T>
-void linear_forward(const BasicMat<T>& x, const BasicMat<T>& w, const std::vector<T>& b,
+void linear_forward(const BasicMat<T>& x, const BasicMat<T>& w, std::span<const std::type_identity_t<T>> b,
                     BasicMat<T>& y) {
   const int n = x.rows(), in = x.cols(), out = w.rows();
   if (w.cols() != in) throw std::invalid_argument("linear_forward: shape mismatch");
@@ -119,7 +119,7 @@ void linear_forward(const BasicMat<T>& x, const BasicMat<T>& w, const std::vecto
 }
 
 template <typename T>
-void linear_forward_rows(const BasicMat<T>& x, const BasicMat<T>& w, const std::vector<T>& b,
+void linear_forward_rows(const BasicMat<T>& x, const BasicMat<T>& w, std::span<const std::type_identity_t<T>> b,
                          BasicMat<T>& y, int row_begin, int row_end) {
   if (w.cols() != x.cols()) throw std::invalid_argument("linear_forward_rows: shape");
   if (y.rows() != x.rows() || y.cols() != w.rows()) {
@@ -129,7 +129,7 @@ void linear_forward_rows(const BasicMat<T>& x, const BasicMat<T>& w, const std::
 }
 
 void linear_backward(const Mat& x, const Mat& w, const Mat& gy, Mat& gx, Mat& gw,
-                     std::vector<double>& gb) {
+                     std::span<double> gb) {
   const int n = x.rows(), in = x.cols(), out = w.rows();
   if (gy.rows() != n || gy.cols() != out) {
     throw std::invalid_argument("linear_backward: gy shape");
@@ -261,13 +261,11 @@ void softmax_rows_backward(const Mat& probs, const Mat& gy, Mat& gx) {
 
 // Explicit instantiations: the reference f64 kernels and the f32 inference
 // mirrors. Declarations in mat.h resolve against these.
-template void linear_forward<double>(const Mat&, const Mat&, const std::vector<double>&,
-                                     Mat&);
-template void linear_forward<float>(const MatF&, const MatF&, const std::vector<float>&,
-                                    MatF&);
-template void linear_forward_rows<double>(const Mat&, const Mat&, const std::vector<double>&,
+template void linear_forward<double>(const Mat&, const Mat&, std::span<const double>, Mat&);
+template void linear_forward<float>(const MatF&, const MatF&, std::span<const float>, MatF&);
+template void linear_forward_rows<double>(const Mat&, const Mat&, std::span<const double>,
                                           Mat&, int, int);
-template void linear_forward_rows<float>(const MatF&, const MatF&, const std::vector<float>&,
+template void linear_forward_rows<float>(const MatF&, const MatF&, std::span<const float>,
                                          MatF&, int, int);
 template void leaky_relu_forward<double>(const Mat&, Mat&, double);
 template void leaky_relu_forward<float>(const MatF&, MatF&, double);

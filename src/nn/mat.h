@@ -18,8 +18,11 @@
 
 #include <cstddef>
 #include <limits>
+#include <span>
 #include <stdexcept>
 #include <vector>
+
+#include "util/arena.h"
 
 namespace teal::nn {
 
@@ -27,6 +30,13 @@ template <typename T>
 class BasicMat {
  public:
   using value_type = T;
+  // Arena-aware storage: an owned vector whose buffer comes from the
+  // thread-bound util::Arena when one is live at (re)allocation time and from
+  // the heap otherwise. The Mat's semantics are unchanged either way — the
+  // arena only swaps *where* the bytes live, which is how the workspace
+  // structs get O(1)-allocation cold starts without perturbing a single bit
+  // of warm-path results.
+  using storage_type = util::AVec<T>;
 
   BasicMat() = default;
   BasicMat(int rows, int cols, T fill = T(0))
@@ -52,8 +62,8 @@ class BasicMat {
     return v_.data() + static_cast<std::size_t>(r) * static_cast<std::size_t>(cols_);
   }
 
-  std::vector<T>& data() { return v_; }
-  const std::vector<T>& data() const { return v_; }
+  storage_type& data() { return v_; }
+  const storage_type& data() const { return v_; }
 
   // Reshapes to (rows, cols), reusing the existing heap buffer whenever its
   // capacity suffices. Element values are unspecified afterwards — callers
@@ -96,7 +106,7 @@ class BasicMat {
   }
 
   int rows_ = 0, cols_ = 0;
-  std::vector<T> v_;
+  storage_type v_;
 };
 
 using Mat = BasicMat<double>;   // reference precision (training, ADMM, default solve)
@@ -109,14 +119,15 @@ using MatF = BasicMat<float>;   // narrowed f32 inference forward
 // arithmetic under every build flag.
 
 // y = x * wT + b_broadcast : x is (n, in), w is (out, in), b is (out), y is (n, out).
-// Parallelized over rows of x when n is large.
+// Parallelized over rows of x when n is large. Bias/grad-bias parameters are
+// spans so both plain std::vectors and arena-backed Mat storage bind.
 template <typename T>
-void linear_forward(const BasicMat<T>& x, const BasicMat<T>& w, const std::vector<T>& b,
+void linear_forward(const BasicMat<T>& x, const BasicMat<T>& w, std::span<const std::type_identity_t<T>> b,
                     BasicMat<T>& y);
 
 // Backward of the same: gx = gy * w ; gw += gyᵀ x ; gb += column sums of gy.
 void linear_backward(const Mat& x, const Mat& w, const Mat& gy, Mat& gx, Mat& gw,
-                     std::vector<double>& gb);
+                     std::span<double> gb);
 
 // LeakyReLU with slope alpha on negatives, elementwise; backward uses the
 // *pre-activation* values.
@@ -138,7 +149,7 @@ void softmax_rows(const BasicMat<T>& logits, const BasicMat<T>& mask, BasicMat<T
 // bit-identical results (the shard-count invariance tests/shard_test.cpp
 // verifies end to end).
 template <typename T>
-void linear_forward_rows(const BasicMat<T>& x, const BasicMat<T>& w, const std::vector<T>& b,
+void linear_forward_rows(const BasicMat<T>& x, const BasicMat<T>& w, std::span<const std::type_identity_t<T>> b,
                          BasicMat<T>& y, int row_begin, int row_end);
 template <typename T>
 void leaky_relu_forward_rows(const BasicMat<T>& x, BasicMat<T>& y, int row_begin,

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "nn/mat.h"
+#include "util/arena.h"
 #include "util/rng.h"
 
 namespace teal::nn {
@@ -49,8 +50,12 @@ class GradAccum {
   void reduce_into(const std::vector<Param*>& params) const;
 
  private:
-  std::vector<Mat> g_;
-  std::vector<Mat*> refs_;
+  // Arena-aware storage: a TrainContext prepares its per-slot GradAccums
+  // under its own arena binding, so the B x num_params gradient matrices —
+  // the bulk of a training context's cold-start allocations — land in a few
+  // arena chunks instead of hundreds of heap blocks.
+  util::AVec<Mat> g_;
+  util::AVec<Mat*> refs_;
 };
 
 // Xavier-uniform init, the default for the small dense layers here.
@@ -98,6 +103,13 @@ class Linear {
   int out_features() const { return weight_.w.rows(); }
 
   std::vector<Param*> params() { return {&weight_, &bias_}; }
+  // Allocation-free variant for module-level params() builders: appending
+  // into one reserved vector keeps a whole model's parameter walk at a
+  // single heap allocation (the cold-path TrainContext contract counts it).
+  void append_params(std::vector<Param*>& out) {
+    out.push_back(&weight_);
+    out.push_back(&bias_);
+  }
 
  private:
   Param weight_;  // (out, in)

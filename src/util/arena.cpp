@@ -1,0 +1,184 @@
+#include "util/arena.h"
+
+#include <cstring>
+
+namespace teal::util {
+
+namespace {
+
+inline char* align_up(char* p, std::size_t align) {
+  const auto v = reinterpret_cast<std::uintptr_t>(p);
+  return reinterpret_cast<char*>((v + align - 1) & ~(static_cast<std::uintptr_t>(align) - 1));
+}
+
+// Provenance tags, written at the start of every ArenaAlloc block's header.
+constexpr std::uint64_t kTagArena = 0xA7E2A000A7E2A001ull;
+constexpr std::uint64_t kTagHeap = 0xA7E2A000A7E2A002ull;
+constexpr std::uint64_t kTagHeapAligned = 0xA7E2A000A7E2A003ull;
+
+thread_local Arena* t_current_arena = nullptr;
+
+}  // namespace
+
+void* Arena::allocate(std::size_t bytes, std::size_t align) {
+  if (align == 0) align = 1;
+  char* p = align_up(ptr_, align);
+  if (p + bytes <= end_) {
+    ptr_ = p + bytes;
+    return p;
+  }
+  // Try chunks retained by an earlier reset() before growing. Remaining slack
+  // in the current chunk is abandoned — monotonic allocators trade that waste
+  // for O(1) everything else.
+  while (cur_ != nullptr && cur_->next != nullptr) {
+    cur_ = cur_->next;
+    ptr_ = payload(cur_);
+    end_ = ptr_ + cur_->size;
+    p = align_up(ptr_, align);
+    if (p + bytes <= end_) {
+      ptr_ = p + bytes;
+      return p;
+    }
+  }
+  grow(bytes, align);
+  p = align_up(ptr_, align);
+  ptr_ = p + bytes;
+  return p;
+}
+
+void Arena::grow(std::size_t bytes, std::size_t align) {
+  // Geometric growth, but never a chunk too small for the request (+ align
+  // slack so align_up inside the fresh chunk cannot overflow it).
+  std::size_t payload_bytes = next_chunk_bytes_;
+  if (payload_bytes < bytes + align) payload_bytes = bytes + align;
+  next_chunk_bytes_ = payload_bytes * 2;
+
+  void* mem = ::operator new(kChunkHeaderBytes + payload_bytes);
+  auto* c = static_cast<Chunk*>(mem);
+  c->next = nullptr;
+  c->size = payload_bytes;
+  if (tail_ != nullptr) {
+    tail_->next = c;
+  } else {
+    head_ = c;
+  }
+  tail_ = c;
+  cur_ = c;
+  ptr_ = payload(c);
+  end_ = ptr_ + payload_bytes;
+  capacity_ += payload_bytes;
+  ++n_chunks_;
+}
+
+void Arena::reserve(std::size_t bytes) {
+  if (capacity_ >= bytes) return;
+  const std::size_t missing = bytes - capacity_;
+  // Append one chunk covering the shortfall; keep the bump position so the
+  // reserve never disturbs live allocations.
+  Chunk* keep_cur = cur_;
+  char* keep_ptr = ptr_;
+  char* keep_end = end_;
+  grow(missing < next_chunk_bytes_ ? next_chunk_bytes_ : missing, alignof(std::max_align_t));
+  if (keep_cur != nullptr) {
+    cur_ = keep_cur;
+    ptr_ = keep_ptr;
+    end_ = keep_end;
+  } else {
+    // The arena was empty: start bumping at the new chunk from byte 0.
+    ptr_ = payload(cur_);
+    end_ = ptr_ + cur_->size;
+  }
+}
+
+void Arena::reset() noexcept {
+  cur_ = head_;
+  if (cur_ != nullptr) {
+    ptr_ = payload(cur_);
+    end_ = ptr_ + cur_->size;
+  } else {
+    ptr_ = end_ = nullptr;
+  }
+}
+
+void Arena::release() noexcept {
+  Chunk* c = head_;
+  while (c != nullptr) {
+    Chunk* next = c->next;
+    ::operator delete(static_cast<void*>(c));
+    c = next;
+  }
+  head_ = tail_ = cur_ = nullptr;
+  ptr_ = end_ = nullptr;
+  capacity_ = 0;
+  n_chunks_ = 0;
+}
+
+std::size_t Arena::used() const noexcept {
+  std::size_t total = 0;
+  for (Chunk* c = head_; c != nullptr; c = c->next) {
+    if (c == cur_) {
+      total += static_cast<std::size_t>(ptr_ - (payload(cur_) + 0));
+      break;
+    }
+    total += c->size;
+  }
+  return total;
+}
+
+void Arena::move_from(Arena& o) noexcept {
+  head_ = o.head_;
+  tail_ = o.tail_;
+  cur_ = o.cur_;
+  ptr_ = o.ptr_;
+  end_ = o.end_;
+  next_chunk_bytes_ = o.next_chunk_bytes_;
+  capacity_ = o.capacity_;
+  n_chunks_ = o.n_chunks_;
+  o.head_ = o.tail_ = o.cur_ = nullptr;
+  o.ptr_ = o.end_ = nullptr;
+  o.capacity_ = 0;
+  o.n_chunks_ = 0;
+}
+
+Arena* current_arena() noexcept { return t_current_arena; }
+
+ArenaScope::ArenaScope(Arena* a) noexcept : prev_(t_current_arena) { t_current_arena = a; }
+
+ArenaScope::~ArenaScope() { t_current_arena = prev_; }
+
+namespace detail {
+
+void* tagged_allocate(std::size_t bytes, std::size_t header) {
+  const std::size_t total = header + bytes;
+  char* base;
+  std::uint64_t tag;
+  if (Arena* a = t_current_arena; a != nullptr) {
+    base = static_cast<char*>(a->allocate(total, header));
+    tag = kTagArena;
+  } else if (header > __STDCPP_DEFAULT_NEW_ALIGNMENT__) {
+    base = static_cast<char*>(::operator new(total, std::align_val_t{header}));
+    tag = kTagHeapAligned;
+  } else {
+    base = static_cast<char*>(::operator new(total));
+    tag = kTagHeap;
+  }
+  std::memcpy(base, &tag, sizeof(tag));
+  return base + header;
+}
+
+void tagged_deallocate(void* p, std::size_t header) noexcept {
+  if (p == nullptr) return;
+  char* base = static_cast<char*>(p) - header;
+  std::uint64_t tag;
+  std::memcpy(&tag, base, sizeof(tag));
+  if (tag == kTagArena) return;  // reclaimed wholesale by Arena reset/release
+  if (tag == kTagHeapAligned) {
+    ::operator delete(static_cast<void*>(base), std::align_val_t{header});
+  } else {
+    ::operator delete(static_cast<void*>(base));
+  }
+}
+
+}  // namespace detail
+
+}  // namespace teal::util

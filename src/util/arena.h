@@ -1,0 +1,180 @@
+// arena.h — monotonic bump allocator behind the workspace substrate.
+//
+// The warm-path story (alloc_hook-verified zero allocations per solve /
+// training step) left the *cold* path untouched: spinning up a replica
+// workspace or a TrainContext performed hundreds of individually-malloc'd
+// vector buffers — one per Mat — and tearing one down freed them one by one.
+// An Arena collapses both ends: allocation is a pointer bump inside a few
+// large chunks (mem-root style, after drizzle's memory::Root), teardown is
+// one free per chunk, and reset() rewinds the bump pointer while *retaining*
+// the chunks so the next cold start (a topology swap, a replica respawn)
+// reuses the already-faulted memory with zero heap traffic.
+//
+// Three layers:
+//   * Arena           — the chunked bump allocator itself. Not thread-safe;
+//                       one arena belongs to one logical owner at a time.
+//   * ArenaScope      — RAII thread-local binding. While a scope is alive on
+//                       a thread, ArenaAlloc allocations on that thread come
+//                       from the bound arena; everything else falls back to
+//                       the heap. Scopes nest (inner scope wins).
+//   * ArenaAlloc<T>   — std::allocator drop-in used by nn::BasicMat and the
+//                       workspace structs. Every block carries a provenance
+//                       header, so deallocate() works no matter where the
+//                       container is destroyed: arena blocks are no-ops
+//                       (the arena reclaims them wholesale), heap blocks are
+//                       freed normally. A container may therefore outlive
+//                       the binding under which it grew — the one rule is
+//                       that the *arena* must outlive (and not be reset
+//                       under) any container still holding its memory.
+//
+// Why the warm path is bit-identical: the arena changes where bytes live,
+// never what arithmetic runs — kernels see the same values at different
+// addresses, and all reductions keep their existing ordering.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <vector>
+
+namespace teal::util {
+
+class Arena {
+ public:
+  // First chunk size when the arena has to grow lazily. Sized so one chunk
+  // covers a small-topology SolveWorkspace or a B4-scale TrainContext: the
+  // cold-path alloc-count contract (<= 5) then spends one count on the chunk.
+  static constexpr std::size_t kDefaultChunkBytes = 256u * 1024u;
+
+  explicit Arena(std::size_t first_chunk_bytes = kDefaultChunkBytes) noexcept
+      : next_chunk_bytes_(first_chunk_bytes < kMinChunkBytes ? kMinChunkBytes
+                                                             : first_chunk_bytes) {}
+  ~Arena() { release(); }
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+  Arena(Arena&& o) noexcept { move_from(o); }
+  Arena& operator=(Arena&& o) noexcept {
+    if (this != &o) {
+      release();
+      move_from(o);
+    }
+    return *this;
+  }
+
+  // Bump-allocates `bytes` aligned to `align` (any power of two). Grows by
+  // appending a chunk (geometric doubling) when the current one is full.
+  void* allocate(std::size_t bytes, std::size_t align);
+
+  // Ensures total capacity of at least `bytes` without disturbing existing
+  // allocations. Benches/tests use this to take chunk growth out of a
+  // measured window.
+  void reserve(std::size_t bytes);
+
+  // Rewinds to empty while retaining every chunk — the O(1)-allocation
+  // topology swap. The caller must have destroyed (or abandoned) every
+  // container whose memory came from this arena first.
+  void reset() noexcept;
+
+  // Frees all chunks (the destructor's body). After release() the arena is
+  // empty and usable again.
+  void release() noexcept;
+
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::size_t used() const noexcept;
+  std::size_t chunk_count() const noexcept { return n_chunks_; }
+
+ private:
+  static constexpr std::size_t kMinChunkBytes = 1024;
+
+  struct Chunk {
+    Chunk* next;
+    std::size_t size;  // payload bytes following this header
+  };
+  static char* payload(Chunk* c) noexcept {
+    return reinterpret_cast<char*>(c) + kChunkHeaderBytes;
+  }
+  // Header padded so the payload keeps new's fundamental alignment; larger
+  // alignments are handled by the bump arithmetic in allocate().
+  static constexpr std::size_t kChunkHeaderBytes =
+      (sizeof(Chunk) + alignof(std::max_align_t) - 1) / alignof(std::max_align_t) *
+      alignof(std::max_align_t);
+
+  void move_from(Arena& o) noexcept;
+  // Appends a chunk able to serve (bytes, align) and makes it current.
+  void grow(std::size_t bytes, std::size_t align);
+
+  Chunk* head_ = nullptr;  // chunk list in creation order
+  Chunk* tail_ = nullptr;
+  Chunk* cur_ = nullptr;   // chunk the bump pointer lives in
+  char* ptr_ = nullptr;    // next free byte in cur_
+  char* end_ = nullptr;    // one past cur_'s payload
+  std::size_t next_chunk_bytes_;
+  std::size_t capacity_ = 0;
+  std::size_t n_chunks_ = 0;
+};
+
+// The calling thread's bound arena (nullptr when none).
+Arena* current_arena() noexcept;
+
+// RAII binding of an arena to the current thread. Nested scopes shadow and
+// restore; binding nullptr explicitly shields a region from an outer scope.
+class ArenaScope {
+ public:
+  explicit ArenaScope(Arena* a) noexcept;
+  ~ArenaScope();
+  ArenaScope(const ArenaScope&) = delete;
+  ArenaScope& operator=(const ArenaScope&) = delete;
+
+ private:
+  Arena* prev_;
+};
+
+namespace detail {
+// Allocates header + `bytes`, from the bound arena when one is present and
+// the heap otherwise, recording the provenance in the header so
+// tagged_deallocate dispatches correctly without consulting any binding.
+void* tagged_allocate(std::size_t bytes, std::size_t header);
+void tagged_deallocate(void* p, std::size_t header) noexcept;
+}  // namespace detail
+
+// std-compatible allocator with arena-or-heap provenance per block. All
+// instances are interchangeable (the binding is thread state, not allocator
+// state), so containers move across allocator instances freely.
+template <typename T>
+class ArenaAlloc {
+ public:
+  using value_type = T;
+  using propagate_on_container_move_assignment = std::true_type;
+  using propagate_on_container_swap = std::true_type;
+  using is_always_equal = std::true_type;
+
+  ArenaAlloc() = default;
+  template <typename U>
+  ArenaAlloc(const ArenaAlloc<U>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(detail::tagged_allocate(n * sizeof(T), header_bytes()));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    detail::tagged_deallocate(p, header_bytes());
+  }
+
+  friend bool operator==(const ArenaAlloc&, const ArenaAlloc&) { return true; }
+
+ private:
+  // Provenance header size: big enough for the tag, aligned for T, and at
+  // least the fundamental alignment so base pointers suit every path.
+  static constexpr std::size_t header_bytes() {
+    return alignof(T) > alignof(std::max_align_t) ? alignof(T)
+                                                  : alignof(std::max_align_t);
+  }
+};
+
+// Arena-aware vector: owned std::vector semantics, storage from the bound
+// arena when one is live at (re)allocation time. The workspace substrate's
+// storage type (nn::BasicMat, Admm::Workspace, TrainContext slots).
+template <typename T>
+using AVec = std::vector<T, ArenaAlloc<T>>;
+
+}  // namespace teal::util

@@ -7,6 +7,7 @@
 // child seeds from one root seed via `fork`.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <random>
 #include <vector>
@@ -47,12 +48,19 @@ class Rng {
     return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
   }
 
+  // Gaussian draws share one member distribution instead of constructing a
+  // fresh std::normal_distribution per call: the distribution's saved
+  // Box–Muller spare is an *unscaled* unit deviate (scaled by the param at
+  // use), so consecutive calls — even with different (mean, stddev) — consume
+  // the engine half as often instead of discarding every second variate.
   double normal(double mean = 0.0, double stddev = 1.0) {
-    return std::normal_distribution<double>(mean, stddev)(engine_);
+    return normal_(engine_, std::normal_distribution<double>::param_type(mean, stddev));
   }
 
+  // exp(N(mu, sigma)) by definition; routed through normal() so lognormal
+  // callers (traffic generation's heavy tails) share the same spare cache.
   double lognormal(double mu, double sigma) {
-    return std::lognormal_distribution<double>(mu, sigma)(engine_);
+    return std::exp(normal(mu, sigma));
   }
 
   double exponential(double rate) {
@@ -78,6 +86,63 @@ class Rng {
 
  private:
   std::mt19937_64 engine_;
+  std::normal_distribution<double> normal_;
+};
+
+// Counter-based Gaussian/uniform generator for keyed noise streams.
+//
+// The COMA trainers key exploration noise per (epoch, rollout, demand, phase)
+// — coma_noise_seed() — so that streams are independent of worker count and
+// schedule. Seeding a full std::mt19937_64 (2.5 KB of state, 312 init mixes)
+// per draw site just to pull a handful of Gaussians is the cold-path analogue
+// of per-Mat mallocs. A CounterRng is 32 bytes: output i is splitmix64 of
+// key + (i+1)*golden — a pure function of (key, i), making every stream
+// O(1) to construct, trivially deterministic, and jump-free.
+//
+// Statistical contract: splitmix64 passes BigCrush at this use scale, and
+// adjacent keys/counters are decorrelated by the finalizer (util_test checks
+// moments and adjacent-counter correlation). Not cryptographic.
+class CounterRng {
+ public:
+  explicit CounterRng(std::uint64_t key) : state_(key) {}
+
+  // splitmix64: state advances by the golden-ratio increment, output is the
+  // finalized state — same finalizer as Rng::mix_seed, different stepping.
+  std::uint64_t next_u64() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform in [0, 1) on the 53-bit grid.
+  double uniform() { return static_cast<double>(next_u64() >> 11) * 0x1.0p-53; }
+
+  // Standard normal via Box–Muller, caching the spare variate (one uniform
+  // pair yields two Gaussians, so consecutive draws cost one next_u64 each
+  // on average).
+  double normal() {
+    if (has_spare_) {
+      has_spare_ = false;
+      return spare_;
+    }
+    // u1 in (0, 1] keeps the log finite; u2 in [0, 1).
+    const double u1 =
+        (static_cast<double>(next_u64() >> 11) + 1.0) * 0x1.0p-53;
+    const double u2 = uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double a = 2.0 * 3.141592653589793238462643383279502884 * u2;
+    spare_ = r * std::sin(a);
+    has_spare_ = true;
+    return r * std::cos(a);
+  }
+
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+ private:
+  std::uint64_t state_;
+  double spare_ = 0.0;
+  bool has_spare_ = false;
 };
 
 }  // namespace teal::util

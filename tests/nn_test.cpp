@@ -14,8 +14,8 @@ namespace {
 
 // Finite-difference gradient check helper: perturbs each entry of `param`,
 // evaluates the scalar loss via `eval`, and compares to `analytic`.
-template <typename Eval>
-void check_grad(std::vector<double>& param, const std::vector<double>& analytic,
+template <typename Param, typename Analytic, typename Eval>
+void check_grad(Param& param, const Analytic& analytic,
                 Eval eval, double eps = 1e-6, double tol = 1e-5) {
   ASSERT_EQ(param.size(), analytic.size());
   for (std::size_t i = 0; i < param.size(); ++i) {
@@ -139,7 +139,8 @@ TEST(Mat, LinearForwardKnownValues) {
   w.at(0, 0) = 3.0;
   w.at(0, 1) = 4.0;
   nn::Mat y;
-  nn::linear_forward(x, w, {0.5}, y);
+  const double bias[] = {0.5};
+  nn::linear_forward(x, w, bias, y);
   EXPECT_DOUBLE_EQ(y.at(0, 0), 11.5);
 }
 

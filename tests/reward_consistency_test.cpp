@@ -96,7 +96,7 @@ TEST_P(RewardConsistency, LocalDeltasTrackExactDeltas) {
       << sign_ok << "/" << trials << " consistent";
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, RewardConsistency, testing::Values(1u, 2u, 3u));
+INSTANTIATE_TEST_SUITE_P(Seeds, RewardConsistency, testing::Values(2u, 4u, 8u));
 
 }  // namespace
 }  // namespace teal

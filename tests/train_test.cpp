@@ -24,12 +24,14 @@
 #include "core/direct_loss.h"
 #include "core/model.h"
 #include "core/reward.h"
+#include "core/train_context.h"
 #include "core/variants.h"
 #include "lp/path_lp.h"
 #include "nn/module.h"
 #include "te/objective.h"
 #include "topo/topology.h"
 #include "traffic/traffic.h"
+#include "util/alloc_hook.h"
 #include "util/rng.h"
 
 namespace teal {
@@ -111,7 +113,7 @@ void reference_coma(core::Model& model, const te::Problem& pb, const traffic::Tr
       auto fwd = model.forward_m(pb, tm, &caps);
       nn::Mat z(nd, k), splits(nd, k);
       for (int d = 0; d < nd; ++d) {
-        util::Rng rng(
+        util::CounterRng rng(
             core::coma_noise_seed(cfg.seed, epoch, t, 2 * static_cast<std::uint64_t>(d)));
         for (int c = 0; c < k; ++c) {
           z.at(d, c) = fwd.logits.at(d, c) +
@@ -122,7 +124,7 @@ void reference_coma(core::Model& model, const te::Problem& pb, const traffic::Tr
       sim.set_state(tm, caps, splits);
       std::vector<double> advantage(static_cast<std::size_t>(nd), 0.0);
       for (int d = 0; d < nd; ++d) {
-        util::Rng rng(core::coma_noise_seed(cfg.seed, epoch, t,
+        util::CounterRng rng(core::coma_noise_seed(cfg.seed, epoch, t,
                                             2 * static_cast<std::uint64_t>(d) + 1));
         const double base = sim.value_of(d, splits.row_ptr(d), scratch);
         double baseline = 0.0;
@@ -309,6 +311,30 @@ TEST(TrainWorkspace, DirectLossWarmStepsAllocationFree) {
       core::train_direct_loss(model, s.pb, s.trace, te::Objective::kTotalFlow, cfg);
   EXPECT_EQ(stats.warm_step_allocs, 0u)
       << "warm direct-loss training steps must not allocate";
+}
+
+// Cold-start contract: TrainContext::prepare bump-allocates the slot array,
+// every per-slot gradient accumulator and the backward scratch out of the
+// context's own arenas — O(1) heap allocations for the spin-up, and again
+// for a re-prepare (which re-bumps the retained chunks).
+TEST(TrainWorkspace, ContextPrepareIsO1Allocations) {
+  auto s = topo_setup("B4", 60, 4);
+  auto model = make_model(s.pb);
+  core::TrainContext ctx;
+  {
+    util::AllocCounter allocs;
+    ctx.prepare(model, s.pb, /*rollout_batch=*/4, /*workers=*/2);
+    EXPECT_LE(allocs.count(), 5u)
+        << "TrainContext spin-up must stay O(1) heap allocations";
+  }
+  ASSERT_TRUE(ctx.ws_path());
+  EXPECT_EQ(ctx.rollout_batch(), 4);
+  {
+    util::AllocCounter allocs;
+    ctx.prepare(model, s.pb, /*rollout_batch=*/4, /*workers=*/2);
+    EXPECT_LE(allocs.count(), 5u)
+        << "re-prepare must re-bump retained chunks, not re-malloc";
+  }
 }
 
 // Models without the workspace seam (the Figure 14 ablation variants) fall
