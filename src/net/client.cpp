@@ -1,0 +1,88 @@
+#include "net/client.h"
+
+#include <stdexcept>
+#include <vector>
+
+namespace teal::net {
+
+Client::Client(const std::string& host, std::uint16_t port, std::size_t max_payload)
+    : sock_(util::connect_tcp(host, port)), decoder_(max_payload) {}
+
+std::uint32_t Client::send_solve(const te::TrafficMatrix& tm) {
+  const std::uint32_t id = next_id_++;
+  std::vector<std::uint8_t> bytes;
+  encode_solve_request(bytes, id, tm);
+  if (!util::write_all(sock_, bytes.data(), bytes.size())) {
+    throw std::runtime_error("net::Client: server closed the connection on send");
+  }
+  return id;
+}
+
+Client::Reply Client::wait_reply() {
+  Frame f;
+  for (;;) {
+    const DecodeStatus st = decoder_.next(f);
+    if (st == DecodeStatus::kMalformed) {
+      throw std::runtime_error("net::Client: malformed server frame: " + decoder_.error());
+    }
+    if (st == DecodeStatus::kFrame) break;
+    std::uint8_t buf[32 * 1024];
+    const int n = util::read_some(sock_, buf, sizeof(buf));
+    if (n == 0) throw std::runtime_error("net::Client: server closed the connection");
+    if (n > 0) decoder_.feed(buf, static_cast<std::size_t>(n));
+    // n < 0 (EINTR on a blocking socket): retry
+  }
+
+  Reply r;
+  r.request_id = f.request_id;
+  switch (f.type) {
+    case FrameType::kSolveResponse:
+      r.kind = Reply::Kind::kResponse;
+      if (!parse_solve_response(f.payload, r.alloc, r.solve_seconds)) {
+        throw std::runtime_error("net::Client: bad solve response payload");
+      }
+      return r;
+    case FrameType::kShed:
+      r.kind = Reply::Kind::kShed;
+      if (!parse_shed(f.payload, r.shed_reason)) {
+        throw std::runtime_error("net::Client: bad shed payload");
+      }
+      return r;
+    case FrameType::kError:
+      r.kind = Reply::Kind::kError;
+      if (!parse_error(f.payload, r.error_code, r.error_message)) {
+        throw std::runtime_error("net::Client: bad error payload");
+      }
+      return r;
+    default:
+      throw std::runtime_error(std::string("net::Client: unexpected ") +
+                               frame_type_name(f.type) + " frame");
+  }
+}
+
+Client::Reply Client::solve(const te::TrafficMatrix& tm) {
+  send_solve(tm);
+  return wait_reply();
+}
+
+bool Client::ping() {
+  const std::uint32_t id = next_id_++;
+  std::vector<std::uint8_t> bytes;
+  encode_ping(bytes, id);
+  if (!util::write_all(sock_, bytes.data(), bytes.size())) return false;
+  Frame f;
+  for (;;) {
+    const DecodeStatus st = decoder_.next(f);
+    if (st == DecodeStatus::kMalformed) return false;
+    if (st == DecodeStatus::kFrame) break;
+    std::uint8_t buf[4096];
+    const int n = util::read_some(sock_, buf, sizeof(buf));
+    if (n == 0) return false;
+    if (n > 0) decoder_.feed(buf, static_cast<std::size_t>(n));
+  }
+  return f.type == FrameType::kPong && f.request_id == id;
+}
+
+void Client::close() { sock_.close(); }
+
+}  // namespace teal::net

@@ -1,0 +1,65 @@
+// client.h — blocking client for the teal wire protocol.
+//
+// One standing TCP connection, synchronous by default (solve() = one round
+// trip) but with the send/wait primitives split out so callers can pipeline:
+// several send_solve() calls back-to-back, then collect replies in
+// completion order and match them by request id. The tests use the split to
+// provoke overload (a burst the admission control must shed) and the slap
+// load generator uses its own threads instead (net/slap.h) — this class is
+// deliberately single-threaded.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "net/wire.h"
+#include "te/problem.h"
+#include "util/socket.h"
+
+namespace teal::net {
+
+class Client {
+ public:
+  // What came back for a request: exactly one of the three server reply
+  // kinds (response / shed / error), tagged.
+  struct Reply {
+    enum class Kind { kResponse, kShed, kError };
+    Kind kind = Kind::kError;
+    std::uint32_t request_id = 0;
+    te::Allocation alloc;       // kResponse
+    double solve_seconds = 0.0; // kResponse: the replica's own solve time
+    ShedReason shed_reason = ShedReason::kAdmission;  // kShed
+    ErrorCode error_code = ErrorCode::kMalformed;     // kError
+    std::string error_message;                        // kError
+  };
+
+  // Connects immediately; throws std::system_error on failure.
+  Client(const std::string& host, std::uint16_t port,
+         std::size_t max_payload = kDefaultMaxPayload);
+
+  // Pipelined primitives. send_solve returns the request id its reply will
+  // echo; wait_reply blocks for the next reply frame in arrival order and
+  // throws std::runtime_error when the server hangs up or talks garbage.
+  std::uint32_t send_solve(const te::TrafficMatrix& tm);
+  Reply wait_reply();
+
+  // One request, one reply (ids matched by the caller being synchronous).
+  Reply solve(const te::TrafficMatrix& tm);
+
+  // Ping round trip; false when the server is gone.
+  bool ping();
+
+  // Abrupt teardown (RST-ish: just closes the fd, flushing nothing). The
+  // disconnect-mid-request test uses this to walk away from an in-flight
+  // solve.
+  void close();
+
+  bool connected() const { return sock_.valid(); }
+
+ private:
+  util::Socket sock_;
+  FrameDecoder decoder_;
+  std::uint32_t next_id_ = 1;
+};
+
+}  // namespace teal::net

@@ -1,0 +1,105 @@
+// server.h — the TCP front door of the serving layer.
+//
+// net::Server turns a serve::Server (bounded MPMC queue + deadline admission
+// + N replicas, PR 2) into a network service: it accepts standing TCP
+// connections, runs one Session per connection, and plumbs validated solve
+// requests into the backend's queue. The division of labour:
+//
+//   client ── TCP ──► Session (wire.h decode, validate)
+//                        │ submit                  ▲ outbox
+//                        ▼                         │
+//                  serve::Server queue ──► replica solves ──► completion
+//                        │ refuse                  (callback re-routes the
+//                        ▼                          response to the session
+//                  kShed frame back                 by id, or drops it if
+//                  on the socket                    the client is gone)
+//
+// Threading: ONE I/O thread owns the listener, every socket read, and every
+// socket write (a poll() loop — sessions are level-triggered on POLLIN and
+// on POLLOUT while their outbox is non-empty). Replica threads never touch a
+// socket: a completed solve is encoded into the session's outbox and the I/O
+// thread is woken through a self-pipe. This keeps replicas immune to slow
+// clients — a stalled connection fills its own outbox (and is eventually
+// dropped), never a replica thread's time.
+//
+// Lifetime: an in-flight request owns its buffers (a shared_ptr slot
+// captured by the completion callback), so a client that disconnects
+// mid-request costs nothing but a dropped response — the replica finishes
+// into memory the slot keeps alive, the completion finds the session gone,
+// and the server keeps serving (tests/net_serve_test.cpp pins this).
+// Callbacks hold a weak_ptr to the server's shared core, so they also
+// outlive the net::Server itself being destroyed while the backend drains.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "net/session.h"
+#include "net/wire.h"
+#include "serve/server.h"
+#include "te/problem.h"
+
+namespace teal::net {
+
+struct NetServerConfig {
+  std::string host = "127.0.0.1";
+  // 0 = kernel-chosen ephemeral port (read it back via port()) — the
+  // hermetic mode every test uses, so parallel ctest runs never collide.
+  std::uint16_t port = 0;
+  std::size_t max_payload = kDefaultMaxPayload;
+  std::size_t max_connections = 1024;
+};
+
+// Aggregated over every session, live and closed, plus server-level events.
+struct NetStats {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t connections_closed = 0;
+  // Responses that completed after their client disconnected (dropped, not
+  // written — the "no replica leaked" accounting of abrupt disconnects).
+  std::uint64_t dropped_responses = 0;
+  SessionStats sessions;
+};
+
+class Server {
+ public:
+  // Binds and starts the I/O thread immediately. `backend` and `pb` must
+  // outlive the server; `pb` must be the same problem the backend's replicas
+  // solve (its demand count validates every request). Throws
+  // std::system_error when the address cannot be bound.
+  Server(serve::Server& backend, const te::Problem& pb, NetServerConfig cfg = {});
+  ~Server();  // stop()
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // The bound port (the ephemeral one when cfg.port was 0).
+  std::uint16_t port() const { return port_; }
+
+  // Closes the listener and every session, then joins the I/O thread.
+  // Idempotent. Requests already handed to the backend still complete there;
+  // their responses are dropped (counted in NetStats::dropped_responses).
+  void stop();
+
+  NetStats stats() const;
+
+ private:
+  struct Core;  // shared with in-flight completion callbacks (weakly)
+
+  void io_loop();
+  bool submit_solve(Session& session, std::uint32_t request_id, te::TrafficMatrix&& tm,
+                    ShedReason& reason);
+
+  serve::Server& backend_;
+  const te::Problem& pb_;
+  NetServerConfig cfg_;
+  util::Socket listener_;
+  std::uint16_t port_ = 0;
+  std::shared_ptr<Core> core_;
+  std::mutex stop_mu_;  // serializes stop() (destructor vs explicit callers)
+  std::thread io_thread_;
+};
+
+}  // namespace teal::net

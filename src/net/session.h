@@ -1,0 +1,109 @@
+// session.h — one object per standing TCP connection.
+//
+// A Session owns everything a single client connection needs: the socket,
+// the incremental FrameDecoder, the outgoing byte queue (outbox), and the
+// per-connection accounting. It implements the server side of the protocol
+// state machine — ping answered with pong, solve requests validated against
+// the served Problem and handed to the submit hook, anything else answered
+// with an error frame — while staying transport-driven: the I/O thread calls
+// on_readable()/flush() when poll() says so, and replica threads deliver
+// completed solves through queue_response().
+//
+// Threading: the socket, decoder and inbound statistics belong to the I/O
+// thread alone. The outbox (and the outbound statistics counted when frames
+// enter it) is the one structure shared with replica threads, guarded by the
+// session's own mutex — lock order is always Server registry lock → session
+// outbox lock, never the reverse, so completions can look a session up and
+// append without deadlocking against a concurrent flush.
+//
+// Shedding happens *here*, at the socket: when the backend refuses a request
+// (deadline admission or queue bound — the serve::Server behaviour), the
+// client gets an explicit kShed frame naming the reason instead of a
+// silently missing response. DESIGN.md "Network layer" contrasts the two
+// shed points.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "net/wire.h"
+#include "te/problem.h"
+#include "util/socket.h"
+
+namespace teal::net {
+
+struct SessionStats {
+  std::uint64_t frames_in = 0;
+  std::uint64_t frames_out = 0;
+  std::uint64_t requests = 0;         // validated solve requests submitted
+  std::uint64_t responses = 0;        // solve responses queued to the wire
+  std::uint64_t shed = 0;             // shed frames queued
+  std::uint64_t pings = 0;
+  std::uint64_t protocol_errors = 0;  // malformed frames / streams
+  std::uint64_t bad_requests = 0;     // well-formed but wrong demand count
+
+  void accumulate(const SessionStats& other);
+};
+
+class Session {
+ public:
+  // Backend hook: enqueue a validated solve. Returns true when the request
+  // was accepted (its response arrives later via queue_response), false when
+  // it was shed — then `reason` names why. The callee owns routing the
+  // completion back to this session by id.
+  using SubmitFn =
+      std::function<bool(Session& session, std::uint32_t request_id,
+                         te::TrafficMatrix&& tm, ShedReason& reason)>;
+
+  // `pb` fixes the demand count every request is validated against and must
+  // outlive the session (same lifetime contract as serve::Server).
+  Session(std::uint64_t id, util::Socket sock, const te::Problem& pb,
+          std::size_t max_payload);
+
+  std::uint64_t id() const { return id_; }
+  int fd() const { return sock_.fd(); }
+
+  // I/O thread: drain the readable socket and react to every complete frame.
+  // Returns false when the connection is finished (peer closed or hard
+  // error); a protocol violation instead queues an error frame and arranges
+  // close-after-flush so the client learns why it is being dropped.
+  bool on_readable(const SubmitFn& submit);
+
+  // Any thread: append reply frames to the outbox (self-locking).
+  void queue_response(std::uint32_t request_id, const te::Allocation& alloc,
+                      double solve_seconds);
+  void queue_shed(std::uint32_t request_id, ShedReason reason);
+  void queue_error(std::uint32_t request_id, ErrorCode code, const std::string& message);
+
+  // I/O thread: write as much outbox as the non-blocking socket accepts.
+  // Returns false when the peer is gone.
+  bool flush();
+
+  bool wants_write() const;
+  // True once the session queued its goodbye (protocol error) and the outbox
+  // fully drained — the server then closes the connection.
+  bool done() const;
+
+  SessionStats stats() const;
+
+ private:
+  void handle_frame(Frame&& f, const SubmitFn& submit);
+  void append_locked(const std::vector<std::uint8_t>& bytes);
+
+  const std::uint64_t id_;
+  util::Socket sock_;
+  const te::Problem& pb_;
+  FrameDecoder decoder_;
+
+  mutable std::mutex out_mu_;           // guards outbox_/out-side stats
+  std::vector<std::uint8_t> outbox_;
+  std::size_t outbox_pos_ = 0;
+  bool close_after_flush_ = false;
+
+  SessionStats stats_;  // in-side fields I/O-thread-only; out-side under out_mu_
+};
+
+}  // namespace teal::net

@@ -1,0 +1,200 @@
+#include "net/slap.h"
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/wire.h"
+#include "util/socket.h"
+#include "util/thread_name.h"
+
+namespace teal::net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// Per-connection state shared between its writer and reader thread. The
+// in-flight map is the only contended structure: the writer records the send
+// timestamp *before* the bytes hit the socket, so the reader can never see a
+// response whose send time is missing.
+struct Conn {
+  util::Socket sock;
+  std::mutex mu;
+  std::unordered_map<std::uint32_t, Clock::time_point> in_flight;
+
+  std::uint64_t offered = 0;
+  std::uint64_t responses = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t errors = 0;
+  util::LatencyHistogram latency;
+  Clock::time_point last_reply{};
+  Clock::time_point writer_end{};
+  std::atomic<bool> writer_done{false};
+  std::atomic<bool> dead{false};
+};
+
+void writer_loop(Conn& conn, int index, int stride, std::uint64_t total,
+                 double target_rps, Clock::time_point start,
+                 const std::vector<te::TrafficMatrix>& requests) {
+  util::set_current_thread_name("slap-send", static_cast<std::size_t>(index));
+  std::vector<std::uint8_t> bytes;
+  for (std::uint64_t i = static_cast<std::uint64_t>(index); i < total;
+       i += static_cast<std::uint64_t>(stride)) {
+    // Open-loop pacing: request i is due at start + i/rate regardless of how
+    // the server is doing. sleep_until of a past deadline returns at once,
+    // so a lagging client degrades to as-fast-as-possible (and achieved_rps
+    // reports the truth).
+    const auto due = start + std::chrono::duration_cast<Clock::duration>(
+                                 std::chrono::duration<double>(
+                                     static_cast<double>(i) / target_rps));
+    std::this_thread::sleep_until(due);
+    if (conn.dead.load(std::memory_order_relaxed)) break;
+
+    const auto id = static_cast<std::uint32_t>(i);  // globally unique per run
+    bytes.clear();
+    encode_solve_request(bytes, id, requests[static_cast<std::size_t>(
+                                       i % requests.size())]);
+    {
+      std::lock_guard lk(conn.mu);
+      conn.in_flight.emplace(id, Clock::now());
+    }
+    if (!util::write_all(conn.sock, bytes.data(), bytes.size())) {
+      std::lock_guard lk(conn.mu);
+      conn.in_flight.erase(id);
+      ++conn.errors;
+      conn.dead.store(true, std::memory_order_relaxed);
+      break;
+    }
+    {
+      std::lock_guard lk(conn.mu);
+      ++conn.offered;
+    }
+  }
+  conn.writer_end = Clock::now();
+  conn.writer_done.store(true, std::memory_order_release);
+}
+
+void reader_loop(Conn& conn, int index, std::size_t max_payload,
+                 Clock::time_point* grace_deadline,
+                 const std::atomic<bool>& sending_finished) {
+  util::set_current_thread_name("slap-recv", static_cast<std::size_t>(index));
+  FrameDecoder decoder(max_payload);
+  std::uint8_t buf[32 * 1024];
+  for (;;) {
+    Frame f;
+    DecodeStatus st = decoder.next(f);
+    while (st == DecodeStatus::kNeedMore) {
+      const int n = util::read_some(conn.sock, buf, sizeof(buf));
+      if (n == 0) {  // server hung up: every outstanding request is lost
+        conn.dead.store(true, std::memory_order_relaxed);
+        return;
+      }
+      if (n < 0) {  // SO_RCVTIMEO tick: time to check for end-of-run
+        if (conn.writer_done.load(std::memory_order_acquire)) {
+          std::unique_lock lk(conn.mu);
+          const bool idle = conn.in_flight.empty();
+          lk.unlock();
+          if (idle) return;
+          if (sending_finished.load(std::memory_order_acquire) &&
+              Clock::now() > *grace_deadline) {
+            return;  // stragglers become `dropped`
+          }
+        }
+        continue;
+      }
+      decoder.feed(buf, static_cast<std::size_t>(n));
+      st = decoder.next(f);
+    }
+    if (st == DecodeStatus::kMalformed) {
+      conn.dead.store(true, std::memory_order_relaxed);
+      return;
+    }
+
+    const auto now = Clock::now();
+    std::lock_guard lk(conn.mu);
+    auto it = conn.in_flight.find(f.request_id);
+    if (it == conn.in_flight.end()) continue;  // duplicate/unknown id: ignore
+    const auto sent = it->second;
+    conn.in_flight.erase(it);
+    conn.last_reply = now;
+    switch (f.type) {
+      case FrameType::kSolveResponse:
+        ++conn.responses;
+        conn.latency.record(std::chrono::duration<double>(now - sent).count());
+        break;
+      case FrameType::kShed:
+        ++conn.shed;
+        break;
+      default:
+        ++conn.errors;
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+SlapStats run_slap(const SlapConfig& cfg, const std::vector<te::TrafficMatrix>& requests) {
+  SlapStats out;
+  if (requests.empty() || cfg.connections <= 0 || cfg.target_rps <= 0.0) return out;
+  const std::size_t max_payload =
+      cfg.max_payload > 0 ? cfg.max_payload : kDefaultMaxPayload;
+  const auto total = static_cast<std::uint64_t>(cfg.target_rps * cfg.duration_seconds);
+  if (total == 0) return out;
+
+  std::vector<std::unique_ptr<Conn>> conns;
+  conns.reserve(static_cast<std::size_t>(cfg.connections));
+  for (int c = 0; c < cfg.connections; ++c) {
+    auto conn = std::make_unique<Conn>();
+    conn->sock = util::connect_tcp(cfg.host, cfg.port);
+    // Reader wake-up granularity: bounds how stale the end-of-run check gets.
+    util::set_recv_timeout(conn->sock, 0.05);
+    conns.push_back(std::move(conn));
+  }
+
+  const auto start = Clock::now();
+  Clock::time_point grace_deadline{};  // written before sending_finished is set
+  std::atomic<bool> sending_finished{false};
+  std::vector<std::thread> writers, readers;
+  for (int c = 0; c < cfg.connections; ++c) {
+    readers.emplace_back(reader_loop, std::ref(*conns[static_cast<std::size_t>(c)]), c,
+                         max_payload, &grace_deadline, std::cref(sending_finished));
+    writers.emplace_back(writer_loop, std::ref(*conns[static_cast<std::size_t>(c)]), c,
+                         cfg.connections, total, cfg.target_rps, start,
+                         std::cref(requests));
+  }
+  for (auto& t : writers) t.join();
+  grace_deadline = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                      std::chrono::duration<double>(
+                                          cfg.drain_grace_seconds));
+  sending_finished.store(true, std::memory_order_release);
+  for (auto& t : readers) t.join();
+
+  Clock::time_point last_activity = start;
+  Clock::time_point send_end = start;
+  for (auto& conn : conns) {
+    std::lock_guard lk(conn->mu);
+    out.offered += conn->offered;
+    out.responses += conn->responses;
+    out.shed += conn->shed;
+    out.errors += conn->errors;
+    out.dropped += conn->in_flight.size();
+    out.latency.merge(conn->latency);
+    if (conn->last_reply > last_activity) last_activity = conn->last_reply;
+    if (conn->writer_end > send_end) send_end = conn->writer_end;
+  }
+  out.wall_seconds = std::chrono::duration<double>(
+                         (last_activity > send_end ? last_activity : send_end) - start)
+                         .count();
+  const double send_window = std::chrono::duration<double>(send_end - start).count();
+  out.achieved_rps = send_window > 0.0 ? static_cast<double>(out.offered) / send_window
+                                       : 0.0;
+  return out;
+}
+
+}  // namespace teal::net

@@ -1,0 +1,203 @@
+#include "net/wire.h"
+
+#include <bit>
+#include <cstring>
+
+namespace teal::net {
+
+namespace {
+
+// Explicit little-endian packing: the wire format must not depend on host
+// byte order or struct layout, and shift-based packing is branch-free and
+// optimizes to a plain store on LE hosts.
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_f64(std::vector<std::uint8_t>& out, double v) {
+  const auto bits = std::bit_cast<std::uint64_t>(v);
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(bits >> (8 * i)));
+}
+
+std::uint16_t get_u16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>(p[0] | (std::uint16_t{p[1]} << 8));
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= std::uint32_t{p[i]} << (8 * i);
+  return v;
+}
+
+double get_f64(const std::uint8_t* p) {
+  std::uint64_t bits = 0;
+  for (int i = 0; i < 8; ++i) bits |= std::uint64_t{p[i]} << (8 * i);
+  return std::bit_cast<double>(bits);
+}
+
+void put_header(std::vector<std::uint8_t>& out, FrameType type, std::uint32_t request_id,
+                std::uint32_t payload_len) {
+  put_u16(out, kWireMagic);
+  out.push_back(kWireVersion);
+  out.push_back(static_cast<std::uint8_t>(type));
+  put_u32(out, request_id);
+  put_u32(out, payload_len);
+}
+
+bool known_type(std::uint8_t t) {
+  return t >= static_cast<std::uint8_t>(FrameType::kPing) &&
+         t <= static_cast<std::uint8_t>(FrameType::kError);
+}
+
+}  // namespace
+
+void encode_ping(std::vector<std::uint8_t>& out, std::uint32_t request_id) {
+  put_header(out, FrameType::kPing, request_id, 0);
+}
+
+void encode_pong(std::vector<std::uint8_t>& out, std::uint32_t request_id) {
+  put_header(out, FrameType::kPong, request_id, 0);
+}
+
+void encode_solve_request(std::vector<std::uint8_t>& out, std::uint32_t request_id,
+                          const te::TrafficMatrix& tm) {
+  const auto n = static_cast<std::uint32_t>(tm.volume.size());
+  put_header(out, FrameType::kSolveRequest, request_id, 4 + 8 * n);
+  put_u32(out, n);
+  for (double v : tm.volume) put_f64(out, v);
+}
+
+void encode_solve_response(std::vector<std::uint8_t>& out, std::uint32_t request_id,
+                           const te::Allocation& alloc, double solve_seconds) {
+  const auto n = static_cast<std::uint32_t>(alloc.split.size());
+  put_header(out, FrameType::kSolveResponse, request_id, 8 + 4 + 8 * n);
+  put_f64(out, solve_seconds);
+  put_u32(out, n);
+  for (double v : alloc.split) put_f64(out, v);
+}
+
+void encode_shed(std::vector<std::uint8_t>& out, std::uint32_t request_id,
+                 ShedReason reason) {
+  put_header(out, FrameType::kShed, request_id, 4);
+  put_u32(out, static_cast<std::uint32_t>(reason));
+}
+
+void encode_error(std::vector<std::uint8_t>& out, std::uint32_t request_id,
+                  ErrorCode code, const std::string& message) {
+  const auto len = static_cast<std::uint32_t>(message.size());
+  put_header(out, FrameType::kError, request_id, 4 + 4 + len);
+  put_u32(out, static_cast<std::uint32_t>(code));
+  put_u32(out, len);
+  out.insert(out.end(), message.begin(), message.end());
+}
+
+bool parse_solve_request(const std::vector<std::uint8_t>& payload, te::TrafficMatrix& tm) {
+  if (payload.size() < 4) return false;
+  const std::uint32_t n = get_u32(payload.data());
+  if (payload.size() != 4 + std::size_t{8} * n) return false;
+  tm.volume.resize(n);
+  for (std::uint32_t i = 0; i < n; ++i) tm.volume[i] = get_f64(payload.data() + 4 + 8 * i);
+  return true;
+}
+
+bool parse_solve_response(const std::vector<std::uint8_t>& payload, te::Allocation& alloc,
+                          double& solve_seconds) {
+  if (payload.size() < 12) return false;
+  const std::uint32_t n = get_u32(payload.data() + 8);
+  if (payload.size() != 12 + std::size_t{8} * n) return false;
+  solve_seconds = get_f64(payload.data());
+  alloc.split.resize(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    alloc.split[i] = get_f64(payload.data() + 12 + 8 * i);
+  }
+  return true;
+}
+
+bool parse_shed(const std::vector<std::uint8_t>& payload, ShedReason& reason) {
+  if (payload.size() != 4) return false;
+  const std::uint32_t r = get_u32(payload.data());
+  if (r < static_cast<std::uint32_t>(ShedReason::kAdmission) ||
+      r > static_cast<std::uint32_t>(ShedReason::kStopping)) {
+    return false;
+  }
+  reason = static_cast<ShedReason>(r);
+  return true;
+}
+
+bool parse_error(const std::vector<std::uint8_t>& payload, ErrorCode& code,
+                 std::string& message) {
+  if (payload.size() < 8) return false;
+  const std::uint32_t len = get_u32(payload.data() + 4);
+  if (payload.size() != 8 + std::size_t{len}) return false;
+  code = static_cast<ErrorCode>(get_u32(payload.data()));
+  message.assign(reinterpret_cast<const char*>(payload.data() + 8), len);
+  return true;
+}
+
+void FrameDecoder::feed(const void* data, std::size_t n) {
+  // Compact the consumed prefix before growing: a standing connection
+  // streaming millions of requests must not accrete its history.
+  if (pos_ > 0 && (pos_ == buf_.size() || pos_ >= 4096)) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  buf_.insert(buf_.end(), p, p + n);
+}
+
+DecodeStatus FrameDecoder::next(Frame& out) {
+  if (poisoned_) return DecodeStatus::kMalformed;
+  if (buffered() < kHeaderSize) return DecodeStatus::kNeedMore;
+  const std::uint8_t* h = buf_.data() + pos_;
+
+  // Header-only validation first: a bad prefix or an absurd length must be
+  // rejected now, not after the decoder buffered max_payload bytes of junk.
+  if (get_u16(h) != kWireMagic) {
+    poisoned_ = true;
+    error_ = "bad magic";
+    return DecodeStatus::kMalformed;
+  }
+  if (h[2] != kWireVersion) {
+    poisoned_ = true;
+    error_ = "unsupported version " + std::to_string(int{h[2]});
+    return DecodeStatus::kMalformed;
+  }
+  if (!known_type(h[3])) {
+    poisoned_ = true;
+    error_ = "unknown frame type " + std::to_string(int{h[3]});
+    return DecodeStatus::kMalformed;
+  }
+  const std::uint32_t payload_len = get_u32(h + 8);
+  if (payload_len > max_payload_) {
+    poisoned_ = true;
+    error_ = "payload length " + std::to_string(payload_len) + " exceeds limit " +
+             std::to_string(max_payload_);
+    return DecodeStatus::kMalformed;
+  }
+  if (buffered() < kHeaderSize + payload_len) return DecodeStatus::kNeedMore;
+
+  out.type = static_cast<FrameType>(h[3]);
+  out.request_id = get_u32(h + 4);
+  out.payload.assign(h + kHeaderSize, h + kHeaderSize + payload_len);
+  pos_ += kHeaderSize + payload_len;
+  return DecodeStatus::kFrame;
+}
+
+const char* frame_type_name(FrameType t) {
+  switch (t) {
+    case FrameType::kPing: return "ping";
+    case FrameType::kPong: return "pong";
+    case FrameType::kSolveRequest: return "solve_request";
+    case FrameType::kSolveResponse: return "solve_response";
+    case FrameType::kShed: return "shed";
+    case FrameType::kError: return "error";
+  }
+  return "unknown";
+}
+
+}  // namespace teal::net

@@ -45,6 +45,11 @@ std::size_t Server::admission_depth_bound() const {
 }
 
 bool Server::submit(const te::TrafficMatrix& tm, te::Allocation& out) {
+  return submit(tm, out, nullptr);
+}
+
+bool Server::submit(const te::TrafficMatrix& tm, te::Allocation& out,
+                    std::function<void(double)> done) {
   offered_.fetch_add(1, std::memory_order_relaxed);
   if (!started_.exchange(true)) {
     // done_mu_ guards first_submit_ against a concurrent stop() reading it.
@@ -59,6 +64,7 @@ bool Server::submit(const te::TrafficMatrix& tm, te::Allocation& out) {
   Request req;
   req.tm = &tm;
   req.out = &out;
+  req.done = std::move(done);
   req.enqueued = Clock::now();
   if (!queue_.try_push(req)) {  // full or stopped
     shed_.fetch_add(1, std::memory_order_relaxed);
@@ -87,6 +93,10 @@ void Server::replica_loop(std::size_t index) {
     ++self.solved;
     self.response.record(
         std::chrono::duration<double>(Clock::now() - req.enqueued).count());
+    // Completion hook before the request counts as completed, so drain()
+    // returning means every response has been handed back (the net session
+    // layer writes its response frame from here).
+    if (req.done) req.done(solve_s);
     // EWMA of completed solve times for the admission bound. Plain
     // store-after-load: concurrent updates may drop an observation, which
     // only perturbs an estimate.
@@ -108,15 +118,33 @@ void Server::drain() {
 }
 
 ServeStats Server::stop() {
-  if (stopped_) return final_stats_;
-  stopped_ = true;
+  // Serialize every stopper: the first caller does the shutdown, later and
+  // concurrent callers block here until it finishes, then return the same
+  // final stats. (The pre-PR7 unguarded `stopped_` bool let two concurrent
+  // stop()s both reach the join loop — a double-join aborts the process —
+  // exactly the shape the net layer produces when a session teardown and the
+  // owning server's destructor race.)
+  std::lock_guard stop_lk(stop_mu_);
+  if (stopped_.load(std::memory_order_acquire)) return final_stats_;
   queue_.close();  // queued requests still drain; new submits shed
   for (auto& t : threads_) t.join();
 
   ServeStats s;
-  s.offered = offered_.load(std::memory_order_relaxed);
-  s.accepted = accepted_.load(std::memory_order_relaxed);
-  s.shed = shed_.load(std::memory_order_relaxed);
+  // A concurrent submit() bumps offered_ first and accepted_/shed_ second,
+  // as separate atomics. Snapshot until the ledger balances so a stop()
+  // racing the last submitters never publishes a half-counted request; the
+  // queue is already closed, so each straggler sheds within a few
+  // instructions and the loop terminates.
+  for (;;) {
+    s.offered = offered_.load(std::memory_order_acquire);
+    s.accepted = accepted_.load(std::memory_order_acquire);
+    s.shed = shed_.load(std::memory_order_acquire);
+    if (s.accepted + s.shed == s.offered &&
+        s.offered == offered_.load(std::memory_order_acquire)) {
+      break;
+    }
+    std::this_thread::yield();
+  }
   Clock::time_point first{};
   {
     std::lock_guard lk(done_mu_);
@@ -134,6 +162,7 @@ ServeStats Server::stop() {
     s.response.merge(l.response);
   }
   final_stats_ = s;
+  stopped_.store(true, std::memory_order_release);
   return final_stats_;
 }
 

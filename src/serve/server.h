@@ -34,6 +34,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -101,11 +102,26 @@ class Server {
   // left untouched.
   bool submit(const te::TrafficMatrix& tm, te::Allocation& out);
 
+  // Same, with a completion hook: `done(solve_seconds)` runs on the replica
+  // thread right after the allocation is written to `out` and before the
+  // request counts as completed (so drain() returning implies every callback
+  // finished). This is the network layer's seam — the session's response is
+  // written back from here, and the captured state (not the caller's stack)
+  // keeps `tm`/`out` alive, which is what makes an abrupt client disconnect
+  // safe. `done` must not throw and must not call back into
+  // submit()/drain()/stop().
+  bool submit(const te::TrafficMatrix& tm, te::Allocation& out,
+              std::function<void(double solve_seconds)> done);
+
   // Blocks until every accepted request has completed.
   void drain();
 
   // Drains, joins the replica threads and returns the final stats.
-  // Idempotent; submissions after stop() are shed.
+  // Idempotent and safe to call from any number of threads concurrently —
+  // every caller returns the same stats, and concurrent submit()s are either
+  // counted completely in those stats or shed (never half-counted). The
+  // session layer relies on this: connections shut down from the I/O thread
+  // while the owning server object stops from another.
   ServeStats stop();
 
   // Queue depth right now (admission diagnostics; racy by nature).
@@ -120,6 +136,7 @@ class Server {
   struct Request {
     const te::TrafficMatrix* tm = nullptr;
     te::Allocation* out = nullptr;
+    std::function<void(double)> done;  // optional completion hook (net sessions)
     Clock::time_point enqueued{};
   };
 
@@ -154,7 +171,12 @@ class Server {
 
   Clock::time_point first_submit_{};  // set once by the first submit()
   std::atomic<bool> started_{false};
-  bool stopped_ = false;
+  // stop() serializes on stop_mu_: the first caller closes/joins/merges, any
+  // concurrent caller blocks until that finishes and returns the same stats.
+  // stopped_ is additionally atomic so the destructor's stop() composes with
+  // a racing explicit stop() without a data race on the flag itself.
+  std::mutex stop_mu_;
+  std::atomic<bool> stopped_{false};
   ServeStats final_stats_;
 };
 

@@ -1,0 +1,169 @@
+#include "util/socket.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <system_error>
+#include <utility>
+
+namespace teal::util {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+
+void set_tcp_nodelay(int fd) {
+  // Best-effort: request/response framing wants every response on the wire
+  // immediately; a socket that rejects the option still works, just slower.
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+sockaddr_in make_addr(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw std::system_error(EINVAL, std::generic_category(),
+                            "socket: not an IPv4 address: " + host);
+  }
+  return addr;
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Socket listen_tcp(const std::string& host, std::uint16_t port,
+                  std::uint16_t* bound_port, int backlog) {
+  Socket s(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!s.valid()) throw_errno("socket: socket()");
+  int one = 1;
+  ::setsockopt(s.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr = make_addr(host, port);
+  if (::bind(s.fd(), reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    throw_errno("socket: bind(" + host + ":" + std::to_string(port) + ")");
+  }
+  if (::listen(s.fd(), backlog) != 0) throw_errno("socket: listen()");
+  if (bound_port != nullptr) {
+    sockaddr_in actual{};
+    socklen_t len = sizeof(actual);
+    if (::getsockname(s.fd(), reinterpret_cast<sockaddr*>(&actual), &len) != 0) {
+      throw_errno("socket: getsockname()");
+    }
+    *bound_port = ntohs(actual.sin_port);
+  }
+  return s;
+}
+
+Socket accept_tcp(const Socket& listener) {
+  int fd = ::accept(listener.fd(), nullptr, nullptr);
+  if (fd < 0) return Socket{};  // EAGAIN/EINTR/ECONNABORTED: nothing usable
+  set_tcp_nodelay(fd);
+  return Socket(fd);
+}
+
+Socket connect_tcp(const std::string& host, std::uint16_t port) {
+  Socket s(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!s.valid()) throw_errno("socket: socket()");
+  sockaddr_in addr = make_addr(host, port);
+  int rc;
+  do {
+    rc = ::connect(s.fd(), reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    throw_errno("socket: connect(" + host + ":" + std::to_string(port) + ")");
+  }
+  set_tcp_nodelay(s.fd());
+  return s;
+}
+
+void set_nonblocking(const Socket& s, bool on) {
+  int flags = ::fcntl(s.fd(), F_GETFL, 0);
+  if (flags < 0) throw_errno("socket: fcntl(F_GETFL)");
+  flags = on ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (::fcntl(s.fd(), F_SETFL, flags) < 0) throw_errno("socket: fcntl(F_SETFL)");
+}
+
+bool write_all(const Socket& s, const void* data, std::size_t n) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  while (n > 0) {
+    const ssize_t w = ::send(s.fd(), p, n, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;  // peer gone (EPIPE/ECONNRESET) or socket unusable
+    }
+    p += w;
+    n -= static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+int read_some(const Socket& s, void* buf, std::size_t n) {
+  const ssize_t r = ::recv(s.fd(), buf, n, 0);
+  if (r > 0) return static_cast<int>(r);
+  if (r == 0) return 0;  // orderly close
+  if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return -1;
+  return 0;  // hard error: treat like a close, the caller drops the session
+}
+
+int write_some(const Socket& s, const void* data, std::size_t n) {
+  const ssize_t w = ::send(s.fd(), data, n, MSG_NOSIGNAL);
+  if (w > 0) return static_cast<int>(w);
+  if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)) return -1;
+  return 0;  // peer gone or socket unusable
+}
+
+void set_recv_timeout(const Socket& s, double seconds) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(seconds);
+  tv.tv_usec = static_cast<suseconds_t>((seconds - static_cast<double>(tv.tv_sec)) * 1e6);
+  ::setsockopt(s.fd(), SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
+
+WakePipe::WakePipe() {
+  int fds[2];
+  if (::pipe(fds) != 0) throw_errno("socket: pipe()");
+  read_end_ = Socket(fds[0]);
+  write_end_ = Socket(fds[1]);
+  set_nonblocking(read_end_, true);
+  set_nonblocking(write_end_, true);
+}
+
+void WakePipe::wake() {
+  const char b = 1;
+  // A full pipe means a wakeup is already pending; any other failure only
+  // delays the poll loop until its next natural wakeup.
+  [[maybe_unused]] ssize_t rc = ::write(write_end_.fd(), &b, 1);
+}
+
+void WakePipe::drain() {
+  char buf[64];
+  while (::read(read_end_.fd(), buf, sizeof(buf)) > 0) {
+  }
+}
+
+}  // namespace teal::util

@@ -1,0 +1,92 @@
+// socket.h — thin POSIX TCP and poll helpers for the network serving layer.
+//
+// Scope is deliberately small: RAII fd ownership, listen/connect/accept with
+// the options a latency-sensitive request/response service wants (TCP_NODELAY
+// so a full response frame leaves immediately, SO_REUSEADDR so test servers
+// rebind, MSG_NOSIGNAL so a dead peer is a return code, not a SIGPIPE), a
+// full-buffer blocking write, and a self-pipe for waking a poll() loop from
+// other threads (the replica threads that complete solves). Everything that
+// interprets bytes lives in net/wire.h — these helpers never look inside a
+// payload.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace teal::util {
+
+// Move-only owner of a file descriptor; closes on destruction. A
+// default-constructed Socket is invalid (fd() < 0).
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { close(); }
+
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+
+  int fd() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  void close();
+
+ private:
+  int fd_ = -1;
+};
+
+// Listening TCP socket bound to host:port (port 0 = kernel-chosen ephemeral
+// port — the hermetic-test mode). `bound_port`, when non-null, receives the
+// actual port. Throws std::system_error on failure.
+Socket listen_tcp(const std::string& host, std::uint16_t port,
+                  std::uint16_t* bound_port = nullptr, int backlog = 128);
+
+// Accepts one pending connection with TCP_NODELAY set; returns an invalid
+// Socket when nothing is pending (EAGAIN/EINTR/peer-aborted).
+Socket accept_tcp(const Socket& listener);
+
+// Blocking connect to host:port with TCP_NODELAY. Throws std::system_error on
+// failure (including refused — callers treat a dead server as fatal).
+Socket connect_tcp(const std::string& host, std::uint16_t port);
+
+void set_nonblocking(const Socket& s, bool on);
+
+// Writes the whole buffer on a blocking socket, looping over partial writes
+// and EINTR. Returns false when the peer is gone (EPIPE/ECONNRESET/...);
+// never raises SIGPIPE.
+bool write_all(const Socket& s, const void* data, std::size_t n);
+
+// One recv(): returns the byte count (> 0), 0 on orderly close or hard error
+// (either way the connection is finished), or -1 when a non-blocking socket
+// has nothing to read right now (EAGAIN/EINTR).
+int read_some(const Socket& s, void* buf, std::size_t n);
+
+// One send() on a non-blocking socket: returns the byte count written (>= 1),
+// -1 when the kernel buffer is full right now (EAGAIN/EINTR — retry on the
+// next POLLOUT), or 0 when the peer is gone. Never raises SIGPIPE.
+int write_some(const Socket& s, const void* data, std::size_t n);
+
+// Blocking-receive timeout (SO_RCVTIMEO); 0 restores blocking forever. The
+// slap client's reader threads use this to notice end-of-run without an extra
+// poll loop.
+void set_recv_timeout(const Socket& s, double seconds);
+
+// Self-pipe for waking a poll() loop from another thread. wake() is
+// async-signal-cheap (one non-blocking write; a full pipe already guarantees
+// a pending wakeup); the poll side watches read_fd() and calls drain().
+class WakePipe {
+ public:
+  WakePipe();  // throws std::system_error on failure
+
+  int read_fd() const { return read_end_.fd(); }
+  void wake();
+  void drain();
+
+ private:
+  Socket read_end_;
+  Socket write_end_;
+};
+
+}  // namespace teal::util

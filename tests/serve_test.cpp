@@ -7,6 +7,7 @@
 // histogram, thread-name helper) are covered here too.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <thread>
 
@@ -182,6 +183,85 @@ TEST(Serve, SubmitAfterStopIsShed) {
   EXPECT_FALSE(server.submit(s.trace.at(0), out));
   auto stats = server.stop();  // idempotent; stats from the first stop()
   EXPECT_EQ(stats.completed, 0u);
+}
+
+// Regression test for the shutdown race: stop() used to flip a plain bool and
+// join threads without serializing against concurrent stop() callers or
+// against submitters mid-flight between the offered++ and the accepted/shed
+// increments, so two racing stoppers could double-join and the published
+// ledger could be caught unbalanced. Now stop() is mutex-serialized,
+// idempotent (every caller gets the same stats), and spins until the counter
+// ledger balances before publishing it.
+TEST(Serve, ConcurrentStopAndSubmitIsSafe) {
+  auto s = b4_setup(1);
+  const int n_submitters = 4;
+  const int n_per_submitter = 50;
+  for (int round = 0; round < 10; ++round) {
+    // Output buffers outlive the server (the submit contract: `out` must stay
+    // valid until the request completes, and a stop() racing the submitters
+    // decides which requests complete).
+    std::vector<std::vector<te::Allocation>> outs(
+        n_submitters, std::vector<te::Allocation>(n_per_submitter));
+    std::vector<serve::ReplicaPtr> replicas;
+    replicas.push_back(std::make_unique<SlowReplica>(0.0));
+    serve::Server server(s.pb, std::move(replicas), {});
+
+    std::atomic<bool> go{false};
+    std::vector<std::thread> submitters;
+    for (int t = 0; t < n_submitters; ++t) {
+      submitters.emplace_back([&server, &s, &go, &slots = outs[static_cast<std::size_t>(t)]] {
+        while (!go.load(std::memory_order_acquire)) {}
+        for (int i = 0; i < n_per_submitter; ++i) {
+          server.submit(s.trace.at(0), slots[static_cast<std::size_t>(i)]);
+        }
+      });
+    }
+    serve::ServeStats from_a, from_b;
+    std::thread stop_a([&] {
+      while (!go.load(std::memory_order_acquire)) {}
+      from_a = server.stop();
+    });
+    std::thread stop_b([&] {
+      while (!go.load(std::memory_order_acquire)) {}
+      from_b = server.stop();
+    });
+    go.store(true, std::memory_order_release);
+    for (auto& t : submitters) t.join();
+    stop_a.join();
+    stop_b.join();
+
+    // Both stoppers observed the same final stats, and the ledger balances no
+    // matter where the race landed. (Submits racing past stop() are shed, so
+    // offered keeps counting; completed == accepted only covers work that was
+    // admitted before the queue closed.)
+    EXPECT_EQ(from_a.offered, from_b.offered);
+    EXPECT_EQ(from_a.accepted, from_b.accepted);
+    EXPECT_EQ(from_a.shed, from_b.shed);
+    auto final_stats = server.stop();
+    EXPECT_EQ(final_stats.accepted + final_stats.shed, final_stats.offered);
+    EXPECT_EQ(final_stats.completed, final_stats.accepted);
+  }
+}
+
+TEST(Serve, SubmitDoneCallbackRunsOnceWithSolveSeconds) {
+  auto s = b4_setup(1);
+  std::vector<serve::ReplicaPtr> replicas;
+  replicas.push_back(std::make_unique<SlowReplica>(0.001));
+  serve::Server server(s.pb, std::move(replicas), {});
+  std::atomic<int> calls{0};
+  std::atomic<double> seen{-1.0};
+  te::Allocation out;
+  ASSERT_TRUE(server.submit(s.trace.at(0), out, [&](double solve_s) {
+    seen.store(solve_s, std::memory_order_relaxed);
+    calls.fetch_add(1, std::memory_order_relaxed);
+  }));
+  server.drain();
+  // drain() returning implies the callback already ran (it fires before the
+  // completion count the drain waits on).
+  EXPECT_EQ(calls.load(), 1);
+  EXPECT_DOUBLE_EQ(seen.load(), 0.001);  // SlowReplica reports its configured time
+  auto stats = server.stop();
+  expect_ledger_balanced(stats);
 }
 
 TEST(MpmcQueue, BoundedFifoAndCloseSemantics) {

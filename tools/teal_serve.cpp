@@ -1,0 +1,111 @@
+// teal_serve — standalone TE serving daemon.
+//
+// Builds the same scaled-down instance the benches use (bench::make_instance,
+// so the demand count is reproducible from the topology name + seed), trains
+// or loads the cached Teal model, and serves solve requests over the wire
+// protocol in src/net/wire.h until SIGINT/SIGTERM. The load generator half is
+// tools/teal_slap.cpp; point it at the same --topo so its matrices match this
+// server's demand count.
+//
+//   ./build/teal_serve --topo B4 --port 7419 --replicas 2 \
+//       --deadline 0.05 --expected-solve 0.01
+//
+// --deadline 0 (default) disables admission control: requests queue up to
+// --queue and shed only when it overflows. With a deadline, the server sheds
+// at the socket any request it cannot start within the deadline.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "bench/common.h"
+#include "net/server.h"
+#include "serve/replica.h"
+#include "serve/server.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+void on_signal(int) { g_stop = 1; }
+
+[[noreturn]] void usage() {
+  std::fprintf(stderr,
+               "usage: teal_serve [--topo B4|SWAN|UsCarrier|Kdl|ASN] [--port N]\n"
+               "                  [--replicas N] [--queue N] [--deadline SEC]\n"
+               "                  [--expected-solve SEC]\n");
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace teal;
+  std::string topo = "B4";
+  int port = 7419;
+  std::size_t replicas = 2;
+  serve::ServeConfig scfg;
+  for (int i = 1; i < argc; ++i) {
+    auto want = [&](const char* flag) {
+      if (std::strcmp(argv[i], flag) != 0) return false;
+      if (i + 1 >= argc) usage();
+      ++i;
+      return true;
+    };
+    if (want("--topo")) {
+      topo = argv[i];
+    } else if (want("--port")) {
+      port = std::atoi(argv[i]);
+    } else if (want("--replicas")) {
+      replicas = static_cast<std::size_t>(std::atoi(argv[i]));
+    } else if (want("--queue")) {
+      scfg.queue_capacity = static_cast<std::size_t>(std::atoi(argv[i]));
+    } else if (want("--deadline")) {
+      scfg.deadline_seconds = std::atof(argv[i]);
+    } else if (want("--expected-solve")) {
+      scfg.expected_solve_seconds = std::atof(argv[i]);
+    } else {
+      usage();
+    }
+  }
+  if (port <= 0 || port > 65535 || replicas == 0) usage();
+
+  auto inst = bench::make_instance(topo);
+  auto teal = bench::make_teal(*inst);
+  serve::Server backend(inst->pb, serve::make_replicas(*teal, replicas), scfg);
+  net::NetServerConfig ncfg;
+  ncfg.port = static_cast<std::uint16_t>(port);
+  net::Server server(backend, inst->pb, ncfg);
+  std::printf("teal_serve: %s (%d demands, k=%d), %zu replicas, port %u\n", topo.c_str(),
+              inst->pb.num_demands(), inst->pb.k_paths(), replicas, server.port());
+  if (backend.admission_depth_bound() > 0) {
+    std::printf("  admission: deadline %.3fs, depth bound %zu\n", scfg.deadline_seconds,
+                backend.admission_depth_bound());
+  } else {
+    std::printf("  admission: none (queue bound %zu only)\n", scfg.queue_capacity);
+  }
+  std::fflush(stdout);
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+  while (!g_stop) std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  server.stop();
+  auto net_stats = server.stats();
+  auto stats = backend.stop();
+  std::printf("\nteal_serve: stopped. connections %llu, requests %llu, responses %llu,\n"
+              "  shed %llu, dropped responses %llu, protocol errors %llu\n",
+              static_cast<unsigned long long>(net_stats.connections_accepted),
+              static_cast<unsigned long long>(net_stats.sessions.requests),
+              static_cast<unsigned long long>(net_stats.sessions.responses),
+              static_cast<unsigned long long>(net_stats.sessions.shed),
+              static_cast<unsigned long long>(net_stats.dropped_responses),
+              static_cast<unsigned long long>(net_stats.sessions.protocol_errors));
+  std::printf("  backend: offered %llu = accepted %llu + shed %llu; solve p50 %.3f ms\n",
+              static_cast<unsigned long long>(stats.offered),
+              static_cast<unsigned long long>(stats.accepted),
+              static_cast<unsigned long long>(stats.shed),
+              stats.solve.percentile(50.0) * 1e3);
+  return 0;
+}
