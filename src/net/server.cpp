@@ -100,20 +100,29 @@ bool Server::submit_solve(Session& session, std::uint32_t request_id,
   slot->request_id = request_id;
   slot->session_id = session.id();
   std::weak_ptr<Core> weak_core = core_;
-  const bool ok = backend_.submit(
+  const serve::SubmitResult res = backend_.submit(
       slot->tm, slot->out, [weak_core, slot](double solve_seconds) {
         if (auto core = weak_core.lock()) core->complete(*slot, solve_seconds);
         // else: net server destroyed while the backend drained; the slot
         // kept the buffers alive, nothing to deliver to.
       });
-  if (!ok) {
-    // The backend does not say which bound refused; the admission bound is
-    // the only active limiter when a deadline is configured (it is clamped
-    // to at most the queue capacity), so report by configuration.
-    reason = backend_.admission_depth_bound() > 0 ? ShedReason::kAdmission
-                                                  : ShedReason::kQueueFull;
+  switch (res) {
+    case serve::SubmitResult::kAccepted:
+      return true;
+    case serve::SubmitResult::kShedAdmission:
+      reason = ShedReason::kAdmission;
+      return false;
+    case serve::SubmitResult::kShedQueueFull:
+      reason = ShedReason::kQueueFull;
+      return false;
+    case serve::SubmitResult::kShedStopping:
+      // The backend stopped independently of this net server (its queue is
+      // closed); clients see the true cause, not a guessed admission shed.
+      reason = ShedReason::kStopping;
+      return false;
   }
-  return ok;
+  reason = ShedReason::kQueueFull;  // unreachable; keeps -Wreturn-type quiet
+  return false;
 }
 
 void Server::io_loop() {
@@ -157,7 +166,8 @@ void Server::io_loop() {
         if (core.sessions.size() >= cfg_.max_connections) break;  // raced past cap
         const std::uint64_t id = core.next_session_id++;
         core.sessions.emplace(
-            id, std::make_unique<Session>(id, std::move(conn), pb_, cfg_.max_payload));
+            id, std::make_unique<Session>(id, std::move(conn), pb_, cfg_.max_payload,
+                                          cfg_.max_outbox_bytes));
         ++core.totals.connections_accepted;
       }
     }

@@ -51,6 +51,10 @@ struct NetServerConfig {
   std::uint16_t port = 0;
   std::size_t max_payload = kDefaultMaxPayload;
   std::size_t max_connections = 1024;
+  // Slow-reader bound: a session whose undelivered outbox exceeds this is
+  // hard-closed immediately (0 = default cap). Tests shrink it to exercise
+  // the disconnect cheaply.
+  std::size_t max_outbox_bytes = kDefaultMaxOutboxBytes;
 };
 
 // Aggregated over every session, live and closed, plus server-level events.

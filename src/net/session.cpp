@@ -2,14 +2,6 @@
 
 namespace teal::net {
 
-namespace {
-
-// A client that outruns its own reads gets disconnected rather than letting
-// one slow connection grow an unbounded response backlog in server memory.
-constexpr std::size_t kMaxOutboxBytes = std::size_t{64} << 20;
-
-}  // namespace
-
 void SessionStats::accumulate(const SessionStats& other) {
   frames_in += other.frames_in;
   frames_out += other.frames_out;
@@ -22,13 +14,33 @@ void SessionStats::accumulate(const SessionStats& other) {
 }
 
 Session::Session(std::uint64_t id, util::Socket sock, const te::Problem& pb,
-                 std::size_t max_payload)
-    : id_(id), sock_(std::move(sock)), pb_(pb), decoder_(max_payload) {
+                 std::size_t max_payload, std::size_t max_outbox)
+    : id_(id),
+      sock_(std::move(sock)),
+      pb_(pb),
+      decoder_(max_payload),
+      max_outbox_(max_outbox == 0 ? kDefaultMaxOutboxBytes : max_outbox) {
   util::set_nonblocking(sock_, true);
+}
+
+bool Session::closing() const {
+  std::lock_guard lk(out_mu_);
+  return close_after_flush_;
 }
 
 bool Session::on_readable(const SubmitFn& submit) {
   std::uint8_t buf[32 * 1024];
+  if (closing()) {
+    // The goodbye is already queued and nothing further will be answered.
+    // Drain and discard whatever the peer keeps sending — decoding nothing —
+    // so a level-triggered POLLIN cannot spin the I/O loop while the error
+    // frame flushes, and an EOF still retires the session.
+    for (;;) {
+      const int n = util::read_some(sock_, buf, sizeof(buf));
+      if (n == 0) return false;
+      if (n < 0) return true;
+    }
+  }
   for (;;) {
     const int n = util::read_some(sock_, buf, sizeof(buf));
     if (n == 0) return false;  // peer closed (or hard error): drop session
@@ -53,6 +65,10 @@ bool Session::on_readable(const SubmitFn& submit) {
         return true;  // keep the session until the error frame flushed
       }
       handle_frame(std::move(f), submit);
+      // A violation (malformed payload) or an overflowed outbox during the
+      // frame just handled ends the connection: leave the rest of the
+      // stream undecoded so nothing is answered after the goodbye.
+      if (closing()) return true;
     }
   }
   return true;
@@ -125,7 +141,13 @@ void Session::handle_frame(Frame&& f, const SubmitFn& submit) {
 void Session::append_locked(const std::vector<std::uint8_t>& bytes) {
   outbox_.insert(outbox_.end(), bytes.begin(), bytes.end());
   ++stats_.frames_out;
-  if (outbox_.size() - outbox_pos_ > kMaxOutboxBytes) close_after_flush_ = true;
+  if (outbox_.size() - outbox_pos_ > max_outbox_) {
+    // Slow reader: the peer is not consuming its responses. Waiting for the
+    // outbox to drain before closing would wait on that same non-reading
+    // peer, so the close must be immediate (hard), not after-flush.
+    close_after_flush_ = true;
+    hard_close_ = true;
+  }
 }
 
 void Session::queue_response(std::uint32_t request_id, const te::Allocation& alloc,
@@ -179,6 +201,7 @@ bool Session::wants_write() const {
 
 bool Session::done() const {
   std::lock_guard lk(out_mu_);
+  if (hard_close_) return true;  // overflow: never wait for a drain
   return close_after_flush_ && outbox_pos_ == outbox_.size();
 }
 

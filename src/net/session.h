@@ -35,6 +35,13 @@
 
 namespace teal::net {
 
+// Default slow-reader bound: a client that outruns its own reads gets
+// disconnected once this many bytes sit undelivered in its outbox, rather
+// than letting one slow connection grow an unbounded response backlog in
+// server memory. Tests shrink it (NetServerConfig::max_outbox_bytes) to
+// exercise the disconnect without buffering 64 MiB.
+inline constexpr std::size_t kDefaultMaxOutboxBytes = std::size_t{64} << 20;
+
 struct SessionStats {
   std::uint64_t frames_in = 0;
   std::uint64_t frames_out = 0;
@@ -60,8 +67,9 @@ class Session {
 
   // `pb` fixes the demand count every request is validated against and must
   // outlive the session (same lifetime contract as serve::Server).
+  // `max_outbox` bounds undelivered response bytes (0 = the default cap).
   Session(std::uint64_t id, util::Socket sock, const te::Problem& pb,
-          std::size_t max_payload);
+          std::size_t max_payload, std::size_t max_outbox = kDefaultMaxOutboxBytes);
 
   std::uint64_t id() const { return id_; }
   int fd() const { return sock_.fd(); }
@@ -83,8 +91,10 @@ class Session {
   bool flush();
 
   bool wants_write() const;
-  // True once the session queued its goodbye (protocol error) and the outbox
-  // fully drained — the server then closes the connection.
+  // True once the session should be retired: either it queued its goodbye
+  // (protocol error) and the outbox fully drained, or the outbox overflowed
+  // the slow-reader cap — then the close is immediate, because waiting for a
+  // peer that is not reading to drain the outbox would wait forever.
   bool done() const;
 
   SessionStats stats() const;
@@ -92,16 +102,22 @@ class Session {
  private:
   void handle_frame(Frame&& f, const SubmitFn& submit);
   void append_locked(const std::vector<std::uint8_t>& bytes);
+  bool closing() const;
 
   const std::uint64_t id_;
   util::Socket sock_;
   const te::Problem& pb_;
   FrameDecoder decoder_;
+  const std::size_t max_outbox_;
 
   mutable std::mutex out_mu_;           // guards outbox_/out-side stats
   std::vector<std::uint8_t> outbox_;
   std::size_t outbox_pos_ = 0;
   bool close_after_flush_ = false;
+  // Outbox overflowed the slow-reader cap: done() without waiting for a
+  // drain the non-reading peer would never provide. Implies
+  // close_after_flush_.
+  bool hard_close_ = false;
 
   SessionStats stats_;  // in-side fields I/O-thread-only; out-side under out_mu_
 };

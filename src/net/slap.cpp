@@ -60,19 +60,23 @@ void writer_loop(Conn& conn, int index, int stride, std::uint64_t total,
     encode_solve_request(bytes, id, requests[static_cast<std::size_t>(
                                        i % requests.size())]);
     {
+      // Counted as offered at the send *attempt*, not after a successful
+      // write: a failed send then books as an error against an offered
+      // request, so `offered == responses + shed + errors + dropped` holds
+      // by construction on every exit path.
       std::lock_guard lk(conn.mu);
       conn.in_flight.emplace(id, Clock::now());
+      ++conn.offered;
     }
     if (!util::write_all(conn.sock, bytes.data(), bytes.size())) {
+      // The frame never fully reached the server (write_all only fails with
+      // a suffix unsent), so no reply can be racing us: erasing the
+      // in-flight entry and booking the error cannot double-count.
       std::lock_guard lk(conn.mu);
       conn.in_flight.erase(id);
       ++conn.errors;
       conn.dead.store(true, std::memory_order_relaxed);
       break;
-    }
-    {
-      std::lock_guard lk(conn.mu);
-      ++conn.offered;
     }
   }
   conn.writer_end = Clock::now();

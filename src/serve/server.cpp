@@ -45,33 +45,41 @@ std::size_t Server::admission_depth_bound() const {
 }
 
 bool Server::submit(const te::TrafficMatrix& tm, te::Allocation& out) {
-  return submit(tm, out, nullptr);
+  return submit(tm, out, nullptr) == SubmitResult::kAccepted;
 }
 
-bool Server::submit(const te::TrafficMatrix& tm, te::Allocation& out,
-                    std::function<void(double)> done) {
-  offered_.fetch_add(1, std::memory_order_relaxed);
+SubmitResult Server::submit(const te::TrafficMatrix& tm, te::Allocation& out,
+                            std::function<void(double)> done) {
+  // Ledger counters are seq_cst so stop()'s balance-spin cannot observe an
+  // accepted_/shed_ increment whose offered_ increment is still invisible
+  // (see the member comment in server.h).
+  offered_.fetch_add(1, std::memory_order_seq_cst);
   if (!started_.exchange(true)) {
     // done_mu_ guards first_submit_ against a concurrent stop() reading it.
     std::lock_guard lk(done_mu_);
     first_submit_ = Clock::now();
   }
+  if (queue_.closed()) {  // stopped before the admission check ran
+    shed_.fetch_add(1, std::memory_order_seq_cst);
+    return SubmitResult::kShedStopping;
+  }
   const std::size_t bound = admission_depth_bound();
   if (bound > 0 && queue_.size() >= bound) {
-    shed_.fetch_add(1, std::memory_order_relaxed);
-    return false;
+    shed_.fetch_add(1, std::memory_order_seq_cst);
+    return SubmitResult::kShedAdmission;
   }
   Request req;
   req.tm = &tm;
   req.out = &out;
   req.done = std::move(done);
   req.enqueued = Clock::now();
-  if (!queue_.try_push(req)) {  // full or stopped
-    shed_.fetch_add(1, std::memory_order_relaxed);
-    return false;
+  if (!queue_.try_push(req)) {  // full, or closed by a racing stop()
+    shed_.fetch_add(1, std::memory_order_seq_cst);
+    return queue_.closed() ? SubmitResult::kShedStopping
+                           : SubmitResult::kShedQueueFull;
   }
-  accepted_.fetch_add(1, std::memory_order_relaxed);
-  return true;
+  accepted_.fetch_add(1, std::memory_order_seq_cst);
+  return SubmitResult::kAccepted;
 }
 
 void Server::replica_loop(std::size_t index) {
@@ -134,13 +142,17 @@ ServeStats Server::stop() {
   // as separate atomics. Snapshot until the ledger balances so a stop()
   // racing the last submitters never publishes a half-counted request; the
   // queue is already closed, so each straggler sheds within a few
-  // instructions and the loop terminates.
+  // instructions and the loop terminates. seq_cst loads to match the seq_cst
+  // increments: the single total order makes "accepted_/shed_ visible but
+  // its offered_ not" impossible, so a balanced, re-read-stable snapshot is
+  // a complete one — acquire alone would not rule out that interleaving on
+  // weakly-ordered hardware.
   for (;;) {
-    s.offered = offered_.load(std::memory_order_acquire);
-    s.accepted = accepted_.load(std::memory_order_acquire);
-    s.shed = shed_.load(std::memory_order_acquire);
+    s.offered = offered_.load(std::memory_order_seq_cst);
+    s.accepted = accepted_.load(std::memory_order_seq_cst);
+    s.shed = shed_.load(std::memory_order_seq_cst);
     if (s.accepted + s.shed == s.offered &&
-        s.offered == offered_.load(std::memory_order_acquire)) {
+        s.offered == offered_.load(std::memory_order_seq_cst)) {
       break;
     }
     std::this_thread::yield();

@@ -64,6 +64,16 @@ struct ReplicaStats {
   double busy_seconds = 0.0;  // sum of per-solve times
 };
 
+// Why submit() accepted or refused a request. The network layer forwards the
+// refusal cause to the client as a ShedReason frame, so the server must name
+// it rather than let callers infer it from configuration.
+enum class SubmitResult : std::uint8_t {
+  kAccepted,       // entered the queue; response arrives via out/done
+  kShedAdmission,  // deadline admission control refused it
+  kShedQueueFull,  // bounded MPMC queue was full
+  kShedStopping,   // server stopped (queue closed)
+};
+
 struct ServeStats {
   std::uint64_t offered = 0;    // submit() calls
   std::uint64_t accepted = 0;   // entered the queue
@@ -109,9 +119,10 @@ class Server {
   // written back from here, and the captured state (not the caller's stack)
   // keeps `tm`/`out` alive, which is what makes an abrupt client disconnect
   // safe. `done` must not throw and must not call back into
-  // submit()/drain()/stop().
-  bool submit(const te::TrafficMatrix& tm, te::Allocation& out,
-              std::function<void(double solve_seconds)> done);
+  // submit()/drain()/stop(). Returns the refusal cause, not just a bool, so
+  // the shed frame the session sends names what actually happened.
+  SubmitResult submit(const te::TrafficMatrix& tm, te::Allocation& out,
+                      std::function<void(double solve_seconds)> done);
 
   // Blocks until every accepted request has completed.
   void drain();
@@ -160,6 +171,11 @@ class Server {
   std::vector<ReplicaLocal> locals_;
   std::vector<std::thread> threads_;
 
+  // Ledger counters are seq_cst: submit() bumps offered_ first and
+  // accepted_/shed_ second, and stop() spins until a snapshot balances — the
+  // single total order is what guarantees a visible accepted_/shed_ implies
+  // a visible offered_, so the spin can never publish an undercounted but
+  // self-consistent ledger (relaxed stores could reorder on weak hardware).
   std::atomic<std::uint64_t> offered_{0};
   std::atomic<std::uint64_t> accepted_{0};
   std::atomic<std::uint64_t> shed_{0};

@@ -10,6 +10,8 @@
 // ASan CI legs.
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
+
 #include <cstring>
 #include <thread>
 
@@ -216,6 +218,141 @@ TEST(NetServe, WrongDemandCountGetsTypedErrorAndConnectionSurvives) {
   EXPECT_EQ(client.solve(s.trace.at(0)).kind, net::Client::Reply::Kind::kResponse);
   auto stats = fx.server.stats();
   EXPECT_EQ(stats.sessions.bad_requests, 1u);
+}
+
+// Regression: a malformed solve-request *payload* (well-framed, inconsistent
+// contents) must end the conversation like any other protocol violation —
+// frames already buffered behind it stay unanswered. The decoder is not
+// poisoned on this path, so the session itself has to stop decoding.
+TEST(NetServe, NoFramesAreAnsweredAfterAMalformedSolvePayload) {
+  auto s = net_setup("B4", 60, 1);
+  auto scheme = make_teal(s.pb);
+  NetFixture fx(s.pb, serve::make_replicas(scheme, 1));
+
+  auto sock = util::connect_tcp("127.0.0.1", fx.server.port());
+  // Hand-built frame: valid header declaring a 4-byte solve-request payload
+  // whose contents claim 5 demands but carry none — parse_solve_request must
+  // reject it. A valid ping rides in the same write right behind it.
+  std::vector<std::uint8_t> bytes;
+  auto put_u32 = [&bytes](std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) bytes.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  };
+  bytes.push_back(static_cast<std::uint8_t>(net::kWireMagic));
+  bytes.push_back(static_cast<std::uint8_t>(net::kWireMagic >> 8));
+  bytes.push_back(net::kWireVersion);
+  bytes.push_back(static_cast<std::uint8_t>(net::FrameType::kSolveRequest));
+  put_u32(9);  // request id
+  put_u32(4);  // payload length
+  put_u32(5);  // "5 demands follow" — they do not
+  net::encode_ping(bytes, 10);
+  ASSERT_TRUE(util::write_all(sock, bytes.data(), bytes.size()));
+
+  // Exactly one error frame comes back, then EOF — never a pong.
+  net::FrameDecoder decoder;
+  net::Frame f;
+  std::uint8_t buf[4096];
+  int frames = 0;
+  bool closed = false;
+  while (!closed) {
+    const int n = util::read_some(sock, buf, sizeof(buf));
+    if (n == 0) {
+      closed = true;
+    } else if (n > 0) {
+      decoder.feed(buf, static_cast<std::size_t>(n));
+      while (decoder.next(f) == net::DecodeStatus::kFrame) {
+        ++frames;
+        EXPECT_EQ(f.type, net::FrameType::kError);
+        EXPECT_EQ(f.request_id, 9u);
+        net::ErrorCode code{};
+        std::string message;
+        ASSERT_TRUE(net::parse_error(f.payload, code, message));
+        EXPECT_EQ(code, net::ErrorCode::kMalformed);
+      }
+    }
+  }
+  EXPECT_EQ(frames, 1) << "the ping behind the violation must stay unanswered";
+  auto stats = fx.server.stats();
+  EXPECT_EQ(stats.sessions.pings, 0u);
+}
+
+// Regression: the slow-reader cap used to only arm close-after-flush, but a
+// peer that is not reading never drains the outbox, so the advertised
+// disconnect never happened and the session kept answering — per-connection
+// memory grew without bound. The overflow must hard-close: done() without
+// waiting for a drain, and no frame handled after the cap trips.
+TEST(NetServe, OutboxOverflowHardClosesWithoutWaitingForDrain) {
+  auto s = net_setup("B4", 60, 1);
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  util::Socket server_end(fds[0]);
+  util::Socket peer(fds[1]);
+  // Tiny cap, and no flush() calls below: the outbox can only grow, exactly
+  // like a non-reading peer behind full kernel buffers.
+  net::Session session(1, std::move(server_end), s.pb, net::kDefaultMaxPayload,
+                       /*max_outbox=*/64);
+  int submits = 0;
+  const net::Session::SubmitFn submit = [&](net::Session&, std::uint32_t,
+                                            te::TrafficMatrix&&, net::ShedReason&) {
+    ++submits;
+    return true;
+  };
+
+  std::vector<std::uint8_t> bytes;
+  for (std::uint32_t i = 0; i < 32; ++i) net::encode_ping(bytes, i);
+  ASSERT_TRUE(util::write_all(peer, bytes.data(), bytes.size()));
+  EXPECT_TRUE(session.on_readable(submit));
+
+  EXPECT_TRUE(session.wants_write()) << "outbox must still hold undelivered pongs";
+  EXPECT_TRUE(session.done()) << "overflow must finish the session undrained";
+  const auto tripped = session.stats();
+  EXPECT_LT(tripped.pings, 32u) << "the cap must stop frame handling mid-burst";
+
+  // Whatever the peer sends now is discarded, not decoded or answered.
+  bytes.clear();
+  net::encode_ping(bytes, 99);
+  ASSERT_TRUE(util::write_all(peer, bytes.data(), bytes.size()));
+  EXPECT_TRUE(session.on_readable(submit));
+  EXPECT_EQ(session.stats().pings, tripped.pings);
+  EXPECT_EQ(submits, 0);
+}
+
+// Same protection end-to-end: a client that floods pings and never reads its
+// pongs gets disconnected by the server instead of growing its outbox.
+TEST(NetServe, ServerDisconnectsAClientThatNeverReads) {
+  auto s = net_setup("B4", 60, 1);
+  auto scheme = make_teal(s.pb);
+  net::NetServerConfig ncfg;
+  ncfg.max_outbox_bytes = 1024;
+  NetFixture fx(s.pb, serve::make_replicas(scheme, 1), {}, ncfg);
+
+  auto sock = util::connect_tcp("127.0.0.1", fx.server.port());
+  std::vector<std::uint8_t> bytes;
+  for (std::uint32_t i = 0; i < 10000; ++i) net::encode_ping(bytes, i);
+  // The server may hard-close mid-write (that is the point), so the send is
+  // allowed to fail partway — only the disconnect below is asserted.
+  (void)util::write_all(sock, bytes.data(), bytes.size());
+  EXPECT_TRUE(eventually([&] { return fx.server.stats().connections_closed == 1; }))
+      << "a never-reading client must be hard-closed, not buffered forever";
+
+  // The server survives it and keeps serving well-behaved clients.
+  auto client = fx.connect();
+  EXPECT_EQ(client.solve(s.trace.at(0)).kind, net::Client::Reply::Kind::kResponse);
+}
+
+// Regression: when the backend stops independently of the net server, the
+// shed frame must name kStopping — not an admission/queue-full guess made
+// from the server's configuration.
+TEST(NetServe, BackendStoppedIndependentlyShedsWithStoppingReason) {
+  auto s = net_setup("B4", 60, 1);
+  auto scheme = make_teal(s.pb);
+  NetFixture fx(s.pb, serve::make_replicas(scheme, 1));
+  auto client = fx.connect();
+  EXPECT_EQ(client.solve(s.trace.at(0)).kind, net::Client::Reply::Kind::kResponse);
+
+  fx.backend.stop();  // net server still up; its queue refusals now say why
+  auto reply = client.solve(s.trace.at(0));
+  ASSERT_EQ(reply.kind, net::Client::Reply::Kind::kShed);
+  EXPECT_EQ(reply.shed_reason, net::ShedReason::kStopping);
 }
 
 TEST(NetServe, ClientSendingServerOnlyFramesGetsUnsupportedType) {

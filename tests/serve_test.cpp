@@ -181,6 +181,10 @@ TEST(Serve, SubmitAfterStopIsShed) {
   server.stop();
   te::Allocation out;
   EXPECT_FALSE(server.submit(s.trace.at(0), out));
+  // And the refusal names its true cause — not a guessed admission/queue
+  // shed — which is what the net layer forwards to clients.
+  EXPECT_EQ(server.submit(s.trace.at(0), out, nullptr),
+            serve::SubmitResult::kShedStopping);
   auto stats = server.stop();  // idempotent; stats from the first stop()
   EXPECT_EQ(stats.completed, 0u);
 }
@@ -251,10 +255,12 @@ TEST(Serve, SubmitDoneCallbackRunsOnceWithSolveSeconds) {
   std::atomic<int> calls{0};
   std::atomic<double> seen{-1.0};
   te::Allocation out;
-  ASSERT_TRUE(server.submit(s.trace.at(0), out, [&](double solve_s) {
-    seen.store(solve_s, std::memory_order_relaxed);
-    calls.fetch_add(1, std::memory_order_relaxed);
-  }));
+  ASSERT_EQ(server.submit(s.trace.at(0), out,
+                          [&](double solve_s) {
+                            seen.store(solve_s, std::memory_order_relaxed);
+                            calls.fetch_add(1, std::memory_order_relaxed);
+                          }),
+            serve::SubmitResult::kAccepted);
   server.drain();
   // drain() returning implies the callback already ran (it fires before the
   // completion count the drain waits on).
