@@ -25,6 +25,7 @@
 #include "baselines/teavar.h"
 #include "core/teal_scheme.h"
 #include "nn/mat.h"
+#include "nn/packed.h"
 #include "sim/online.h"
 #include "te/scheme.h"
 #include "topo/topology.h"
@@ -124,6 +125,19 @@ struct LinearKernelFixture {
     for (auto& v : b) v = static_cast<T>(rng.normal());
   }
   void run() { nn::linear_forward_rows(x, w, b, y, 0, kRows); }
+};
+
+// Blocked-layout variant of the same kernel: identical shape, seed and fill
+// (it packs LinearKernelFixture<float>'s weights), so the blocked-vs-
+// unblocked ratio is apples-to-apples. W = float is the blocked f32 kernel,
+// W = nn::bf16 the storage-halved variant.
+template <typename W>
+struct PackedKernelFixture {
+  LinearKernelFixture<float> base;
+  nn::PackedMat<W> wp;
+
+  PackedKernelFixture() { nn::pack_weights(base.w, wp); }
+  void run() { nn::linear_forward_rows_blocked(base.x, wp, base.b, base.y, 0, base.kRows); }
 };
 
 // Where bench CSV outputs go (created on demand).

@@ -95,31 +95,62 @@ void BM_TealSolveWarmWorkspace(benchmark::State& state) {
 }
 BENCHMARK(BM_TealSolveWarmWorkspace)->Unit(benchmark::kMillisecond);
 
-// Batched linear-forward kernel, the hot inner loop of the FlowGNN/policy
-// forward (bench::LinearKernelFixture — the same shape/seed
-// bench_precision_simd ledgers). The f64 variant is the bit-stable
-// reference; the f32 variant is the narrowed inference path that TEAL_SIMD
-// vectorizes — the f64/f32 time ratio here is the kernel-level speedup the
-// EXPERIMENTS.md Precision/SIMD ledger records (target >= 1.5x with
-// TEAL_SIMD=ON on a >= 4-lane-vector machine).
-void BM_LinearForwardBatchedF64(benchmark::State& state) {
-  bench::LinearKernelFixture<double> fx;
-  for (auto _ : state) {
-    fx.run();
-    benchmark::DoNotOptimize(fx.y.data().data());
-  }
-}
-BENCHMARK(BM_LinearForwardBatchedF64)->Unit(benchmark::kMillisecond);
+// Batched linear-forward kernels, the hot inner loop of the FlowGNN/policy
+// forward (bench::LinearKernelFixture / bench::PackedKernelFixture — the
+// same shape/seed bench_precision_simd ledgers). The f64 variant is the
+// bit-stable reference; the f32 variant is the unblocked narrowed path; the
+// Blocked variants run the lane-panel broadcast-FMA kernel the solve path
+// actually uses (f32 panels, and bf16-storage panels widened in the inner
+// loop). Ratios of interest: f64/f32 (narrowing + SIMD), f32/blocked-f32
+// (layout, CI-asserted >= 1x), blocked-f32/blocked-bf16 (weight streaming).
+//
+// All four run a pinned iteration count after an explicit warm-up pass so
+// run-to-run numbers stay comparable (google-benchmark's adaptive iteration
+// search was the source of the ledger's f64-baseline jitter: different
+// builds settled on different counts, shifting cache residency).
+constexpr int kLinearKernelIters = 200;
 
-void BM_LinearForwardBatchedF32(benchmark::State& state) {
-  bench::LinearKernelFixture<float> fx;
+template <typename Fx, typename T>
+void run_linear_kernel_bench(benchmark::State& state, Fx& fx, nn::BasicMat<T>& y) {
+  for (int i = 0; i < 3; ++i) fx.run();  // explicit warm-up, outside timing
   for (auto _ : state) {
     fx.run();
-    benchmark::DoNotOptimize(fx.y.data().data());
+    benchmark::DoNotOptimize(y.data().data());
   }
   state.counters["simd"] = nn::simd_enabled() ? 1 : 0;
 }
-BENCHMARK(BM_LinearForwardBatchedF32)->Unit(benchmark::kMillisecond);
+
+void BM_LinearForwardBatchedF64(benchmark::State& state) {
+  bench::LinearKernelFixture<double> fx;
+  run_linear_kernel_bench(state, fx, fx.y);
+}
+BENCHMARK(BM_LinearForwardBatchedF64)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(kLinearKernelIters);
+
+void BM_LinearForwardBatchedF32(benchmark::State& state) {
+  bench::LinearKernelFixture<float> fx;
+  run_linear_kernel_bench(state, fx, fx.y);
+}
+BENCHMARK(BM_LinearForwardBatchedF32)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(kLinearKernelIters);
+
+void BM_LinearForwardBlockedF32(benchmark::State& state) {
+  bench::PackedKernelFixture<float> fx;
+  run_linear_kernel_bench(state, fx, fx.base.y);
+}
+BENCHMARK(BM_LinearForwardBlockedF32)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(kLinearKernelIters);
+
+void BM_LinearForwardBlockedBF16(benchmark::State& state) {
+  bench::PackedKernelFixture<nn::bf16> fx;
+  run_linear_kernel_bench(state, fx, fx.base.y);
+}
+BENCHMARK(BM_LinearForwardBlockedBF16)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(kLinearKernelIters);
 
 void BM_TealSolveF32WarmWorkspace(benchmark::State& state) {
   // The warm workspace solve with the narrowed forward — directly comparable

@@ -28,35 +28,67 @@ void TealModel::prepare_f32() {
   policy_.prepare_f32();
 }
 
-void TealModel::forward_ws_f32(const te::Problem& pb, const te::TrafficMatrix& tm,
-                               const std::vector<double>* capacities, ModelForward& out,
-                               const ShardPlan& shards, ShardStat* stats) const {
-  // Same cache-reuse contract as forward_ws, under the f32 owner tag (an f32
-  // cache is a ForwardF32; the f64 path must never reinterpret it).
+void TealModel::prepare_bf16() {
+  gnn_.prepare_bf16();
+  policy_.prepare_bf16();
+}
+
+void TealModel::forward_ws_narrowed(const te::Problem& pb, const te::TrafficMatrix& tm,
+                                    const std::vector<double>* capacities, ModelForward& out,
+                                    const ShardPlan& shards, ShardStat* stats,
+                                    bool use_bf16) const {
+  // Same cache-reuse contract as forward_ws, under the narrowed owner tag (a
+  // narrowed cache is a ForwardF32; the f64 path must never reinterpret it).
+  // f32 and bf16 share the cache: same type, every activation fully
+  // rewritten per forward.
   if (out.owner != &f32_owner_tag_ || out.cache == nullptr || out.cache.use_count() != 1) {
     out.cache = std::make_shared<ForwardF32>();
     out.owner = &f32_owner_tag_;
   }
   auto* typed = static_cast<ForwardF32*>(out.cache.get());
-  gnn_.forward_f32(pb, tm, capacities, typed->gnn, shards, stats);
+  if (use_bf16) {
+    gnn_.forward_bf16(pb, tm, capacities, typed->gnn, shards, stats);
+  } else {
+    gnn_.forward_f32(pb, tm, capacities, typed->gnn, shards, stats);
+  }
   // Fused per-demand tail: input assembly (float), policy forward (float),
   // and the logit widening back to the caller's f64 matrices — each shard
   // touches only its own demand rows, so the fan-out stays race-free.
   const int nd = pb.num_demands();
   typed->policy.input.resize(nd, k_ * typed->gnn.final_paths.cols());
   out.mask.resize(nd, k_);
-  policy_.prepare_forward(typed->policy);
+  if (use_bf16) {
+    policy_.prepare_forward_bf16(typed->policy);
+  } else {
+    policy_.prepare_forward(typed->policy);
+  }
   out.logits.resize(nd, k_);
   run_sharded(shards, stats, [&](int /*shard*/, int d0, int d1) {
     build_policy_input_rows(pb, typed->gnn.final_paths, k_, typed->policy.input, out.mask,
                             d0, d1);
-    policy_.forward_rows(typed->policy, d0, d1);
+    if (use_bf16) {
+      policy_.forward_rows_bf16(typed->policy, d0, d1);
+    } else {
+      policy_.forward_rows(typed->policy, d0, d1);
+    }
     for (int d = d0; d < d1; ++d) {
       const float* lr = typed->policy.logits.row_ptr(d);
       double* outr = out.logits.row_ptr(d);
       for (int c = 0; c < k_; ++c) outr[c] = static_cast<double>(lr[c]);
     }
   });
+}
+
+void TealModel::forward_ws_f32(const te::Problem& pb, const te::TrafficMatrix& tm,
+                               const std::vector<double>* capacities, ModelForward& out,
+                               const ShardPlan& shards, ShardStat* stats) const {
+  forward_ws_narrowed(pb, tm, capacities, out, shards, stats, /*use_bf16=*/false);
+}
+
+void TealModel::forward_ws_bf16(const te::Problem& pb, const te::TrafficMatrix& tm,
+                                const std::vector<double>* capacities, ModelForward& out,
+                                const ShardPlan& shards, ShardStat* stats) const {
+  forward_ws_narrowed(pb, tm, capacities, out, shards, stats, /*use_bf16=*/true);
 }
 
 void TealModel::forward(const te::Problem& pb, const te::TrafficMatrix& tm,
@@ -134,7 +166,7 @@ void TealModel::backward_ws(const te::Problem& pb, const ModelForward& fwd,
   if (fwd.owner != this || fwd.cache == nullptr) {
     throw std::logic_error(
         "TealModel::backward_ws: forward cache was not produced by this model's "
-        "f64 forward path (f32 inference caches cannot back-propagate)");
+        "f64 forward path (narrowed f32/bf16 inference caches cannot back-propagate)");
   }
   if (grads.size() != gnn_.num_params() + policy_.num_params()) {
     throw std::invalid_argument("TealModel::backward_ws: grads size mismatch");
@@ -162,7 +194,7 @@ void TealModel::backward_m(const te::Problem& pb, const ModelForward& fwd,
   if (fwd.owner != this || fwd.cache == nullptr) {
     throw std::logic_error(
         "TealModel::backward_m: forward cache was not produced by this model's "
-        "f64 forward path (f32 inference caches cannot back-propagate)");
+        "f64 forward path (narrowed f32/bf16 inference caches cannot back-propagate)");
   }
   backward(pb, *std::static_pointer_cast<Forward>(fwd.cache), grad_logits);
 }

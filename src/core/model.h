@@ -107,6 +107,18 @@ class Model {
     forward_ws(pb, tm, capacities, fwd, shards, stats);
   }
 
+  // bf16-storage inference forward: same seam as the f32 trio, but the layer
+  // weights are stored as bf16 panels (activations and every accumulation
+  // stay f32, so the cache is the same float workspace as the f32 path).
+  // Defaults mirror f32: unsupported, graceful f64 fallback.
+  virtual bool supports_bf16_forward() const { return false; }
+  virtual void prepare_bf16() {}
+  virtual void forward_ws_bf16(const te::Problem& pb, const te::TrafficMatrix& tm,
+                               const std::vector<double>* capacities, ModelForward& fwd,
+                               const ShardPlan& shards, ShardStat* stats = nullptr) const {
+    forward_ws(pb, tm, capacities, fwd, shards, stats);
+  }
+
   void save(const std::string& path) { nn::save_params(path, params()); }
   bool load(const std::string& path) { return nn::load_params(path, params()); }
 };
@@ -127,8 +139,10 @@ class TealModel : public Model {
     nn::Mat logits;  // (D, k), alias of policy.logits
   };
 
-  // f32 inference caches (the float mirrors a SolveWorkspace grows when the
-  // solve runs at Precision::f32). Never feeds backward().
+  // Narrowed inference caches (the float mirrors a SolveWorkspace grows when
+  // the solve runs at Precision::f32 *or* bf16 — bf16 narrows only the stored
+  // weights, so its activations live in the same float workspace). Never
+  // feeds backward().
   struct ForwardF32 {
     FlowGnn::ForwardF gnn;
     PolicyNet::ForwardF policy;
@@ -166,6 +180,11 @@ class TealModel : public Model {
   void forward_ws_f32(const te::Problem& pb, const te::TrafficMatrix& tm,
                       const std::vector<double>* capacities, ModelForward& fwd,
                       const ShardPlan& shards, ShardStat* stats = nullptr) const override;
+  bool supports_bf16_forward() const override { return true; }
+  void prepare_bf16() override;
+  void forward_ws_bf16(const te::Problem& pb, const te::TrafficMatrix& tm,
+                       const std::vector<double>* capacities, ModelForward& fwd,
+                       const ShardPlan& shards, ShardStat* stats = nullptr) const override;
   void backward_m(const te::Problem& pb, const ModelForward& fwd,
                   const nn::Mat& grad_logits) override;
   bool supports_train_ws() const override { return true; }
@@ -186,15 +205,25 @@ class TealModel : public Model {
                     const std::vector<double>* capacities, Forward& fwd,
                     const ShardPlan& shards, ShardStat* stats = nullptr) const;
 
+  // Shared body of forward_ws_f32/forward_ws_bf16: identical float cache,
+  // fused per-demand tail and f64 widening; only the weight panels the GNN
+  // and policy read differ.
+  void forward_ws_narrowed(const te::Problem& pb, const te::TrafficMatrix& tm,
+                           const std::vector<double>* capacities, ModelForward& fwd,
+                           const ShardPlan& shards, ShardStat* stats, bool use_bf16) const;
+
   TealModelConfig cfg_;
   int k_;
   util::Rng init_rng_;  // declared before the networks: it seeds their init
   FlowGnn gnn_;
   PolicyNet policy_;
-  // ModelForward::owner tag for f32 caches: an f32 cache holds a ForwardF32,
-  // not a Forward, so it must never be reinterpreted by the f64 path (and
-  // vice versa). Tagging with this member's address instead of `this` keeps
-  // the two cache kinds distinct per model instance.
+  // ModelForward::owner tag for the narrowed caches: an f32 or bf16 cache
+  // holds a ForwardF32, not a Forward, so it must never be reinterpreted by
+  // the f64 path (and vice versa). f32 and bf16 share the tag deliberately —
+  // their caches are the same type and every activation is fully rewritten
+  // per forward, so switching between them reuses the buffers. Tagging with
+  // this member's address instead of `this` keeps the narrow/f64 cache kinds
+  // distinct per model instance.
   char f32_owner_tag_ = 0;
 };
 

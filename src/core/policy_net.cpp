@@ -65,8 +65,15 @@ void PolicyNet::forward_rows(Forward& fwd, int row_begin, int row_end) const {
 void PolicyNet::prepare_f32() {
   hidden_f32_.clear();
   hidden_f32_.reserve(hidden_.size());
-  for (const auto& l : hidden_) hidden_f32_.push_back(l.snapshot_f32());
-  out_f32_ = out_.snapshot_f32();
+  for (const auto& l : hidden_) hidden_f32_.push_back(l.snapshot_packed_f32());
+  out_f32_ = out_.snapshot_packed_f32();
+}
+
+void PolicyNet::prepare_bf16() {
+  hidden_bf16_.clear();
+  hidden_bf16_.reserve(hidden_.size());
+  for (const auto& l : hidden_) hidden_bf16_.push_back(l.snapshot_bf16());
+  out_bf16_ = out_.snapshot_bf16();
 }
 
 void PolicyNet::prepare_forward(ForwardF& fwd) const {
@@ -85,6 +92,24 @@ void PolicyNet::forward_rows(ForwardF& fwd, int row_begin, int row_end) const {
         "te::Scheme::set_precision, which snapshots the weights)");
   }
   forward_rows_impl(fwd, hidden_f32_, *out_f32_, row_begin, row_end);
+}
+
+void PolicyNet::prepare_forward_bf16(ForwardF& fwd) const {
+  if (!bf16_ready()) {
+    throw std::logic_error(
+        "PolicyNet: prepare_bf16() has not been called (use "
+        "te::Scheme::set_precision, which snapshots the weights)");
+  }
+  prepare_forward_impl(fwd, hidden_bf16_, *out_bf16_);
+}
+
+void PolicyNet::forward_rows_bf16(ForwardF& fwd, int row_begin, int row_end) const {
+  if (!bf16_ready()) {
+    throw std::logic_error(
+        "PolicyNet: prepare_bf16() has not been called (use "
+        "te::Scheme::set_precision, which snapshots the weights)");
+  }
+  forward_rows_impl(fwd, hidden_bf16_, *out_bf16_, row_begin, row_end);
 }
 
 PolicyNet::Forward PolicyNet::forward(const nn::Mat& input) const {

@@ -60,10 +60,23 @@ class PolicyNet {
   void prepare_forward(ForwardF& fwd) const;
   void forward_rows(ForwardF& fwd, int row_begin, int row_end) const;
 
-  // Snapshots the current parameters into f32 mirrors. Not thread-safe
-  // against concurrent forwards; re-call after any parameter update.
+  // bf16-storage inference pair: identical pass structure and f32 activation
+  // arithmetic, but the layer weights are read from bf16 panels. Reuses the
+  // ForwardF cache type (activations are f32 either way). Requires
+  // prepare_bf16().
+  void prepare_forward_bf16(ForwardF& fwd) const;
+  void forward_rows_bf16(ForwardF& fwd, int row_begin, int row_end) const;
+
+  // Snapshots the current parameters into blocked f32 mirrors. Not
+  // thread-safe against concurrent forwards; re-call after any parameter
+  // update.
   void prepare_f32();
   bool f32_ready() const { return out_f32_.has_value(); }
+
+  // Snapshots the current parameters into bf16-storage mirrors (f64 -> f32
+  // round-to-nearest, then f32 -> bf16 round-to-nearest-even).
+  void prepare_bf16();
+  bool bf16_ready() const { return out_bf16_.has_value(); }
 
   // `input` rows are per-demand concatenated path embeddings (zero-padded for
   // demands with fewer than k paths). Allocates a fresh Forward per call.
@@ -105,9 +118,12 @@ class PolicyNet {
   int in_dim_, k_paths_;
   std::vector<nn::Linear> hidden_;
   nn::Linear out_;
-  // f32 inference mirrors (empty until prepare_f32()).
-  std::vector<nn::LinearF32> hidden_f32_;
-  std::optional<nn::LinearF32> out_f32_;
+  // Narrowed inference mirrors, stored as lane-blocked panels: f32 (empty
+  // until prepare_f32()) and bf16 storage (empty until prepare_bf16()).
+  std::vector<nn::LinearPackedF32> hidden_f32_;
+  std::optional<nn::LinearPackedF32> out_f32_;
+  std::vector<nn::LinearBf16> hidden_bf16_;
+  std::optional<nn::LinearBf16> out_bf16_;
 };
 
 // Assembles the (D, k*dim) policy input matrix from final path embeddings and

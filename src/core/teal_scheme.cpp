@@ -42,12 +42,16 @@ void TealScheme::solve_with(SolveWorkspace& ws, const te::Problem& pb,
   ws.prepare_shards(plan);
   ShardStat* stats = ws.shard_stats.data();
   pb.capacities_into(ws.caps);
-  // Precision dispatch: the f32 path runs the NN forward through the float
-  // mirror workspace and widens logits/mask back to double, so everything
-  // from the softmax down is precision-oblivious.
+  // Precision dispatch: the narrowed paths (f32 and bf16) run the NN forward
+  // through the float mirror workspace — bf16 only changes which weight
+  // panels the kernels read — and widen logits/mask back to double, so
+  // everything from the softmax down is precision-oblivious.
   const bool f32 = precision_ == te::Precision::f32 && model_->supports_f32_forward();
-  ModelForward& fwd = f32 ? ws.fwd32 : ws.fwd;
-  if (f32) {
+  const bool bf16 = precision_ == te::Precision::bf16 && model_->supports_bf16_forward();
+  ModelForward& fwd = (f32 || bf16) ? ws.fwd32 : ws.fwd;
+  if (bf16) {
+    model_->forward_ws_bf16(pb, tm, &ws.caps, fwd, plan, stats);
+  } else if (f32) {
     model_->forward_ws_f32(pb, tm, &ws.caps, fwd, plan, stats);
   } else {
     model_->forward_ws(pb, tm, &ws.caps, fwd, plan, stats);

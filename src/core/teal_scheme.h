@@ -78,21 +78,26 @@ class TealScheme : public te::Scheme {
   int shard_count() const override { return shard_count_; }
 
   // Precision knob (te::Precision): f32 narrows the NN forward to float —
-  // through per-layer weight snapshots taken here — while the masked
+  // through per-layer blocked weight snapshots taken here — while the masked
   // softmax, the allocation writeback and the ADMM fine-tune stay double,
-  // mirroring the paper's fp32 GPU inference. Snapshotting mutates the
-  // shared model, so set the precision before replicas/batches start and
-  // re-set it after any further training (tests/precision_test.cpp bounds
-  // the f32-vs-f64 allocation error per topology). f32 support follows the
-  // wrapped model: the Figure 14 ablation variants have no narrowed
-  // forward, and claiming support while silently solving in f64 would
-  // corrupt any f32-vs-f64 comparison run against them.
+  // mirroring the paper's fp32 GPU inference. bf16 additionally narrows the
+  // *stored* weights to bfloat16 (activations and accumulations stay f32).
+  // Snapshotting mutates the shared model, so set the precision before
+  // replicas/batches start and re-set it after any further training
+  // (tests/precision_test.cpp bounds the f32- and bf16-vs-f64 allocation
+  // error per topology). Narrowed support follows the wrapped model: the
+  // Figure 14 ablation variants have no narrowed forward, and claiming
+  // support while silently solving in f64 would corrupt any narrowed-vs-f64
+  // comparison run against them.
   bool supports_precision(te::Precision p) const override {
-    return p == te::Precision::f64 || model_->supports_f32_forward();
+    if (p == te::Precision::f64) return true;
+    if (p == te::Precision::bf16) return model_->supports_bf16_forward();
+    return model_->supports_f32_forward();
   }
   void set_precision(te::Precision p) override {
     if (!supports_precision(p)) return;  // knob contract: unsupported = ignored
     if (p == te::Precision::f32) model_->prepare_f32();
+    if (p == te::Precision::bf16) model_->prepare_bf16();
     precision_ = p;
   }
   te::Precision precision() const override { return precision_; }

@@ -73,6 +73,24 @@ LinearF32 Linear::snapshot_f32() const {
   return s;
 }
 
+LinearPackedF32 Linear::snapshot_packed_f32() const {
+  // Pack via the row-major f32 snapshot so both narrowed layouts are built
+  // from identical float weights.
+  LinearF32 flat = snapshot_f32();
+  LinearPackedF32 s;
+  pack_weights(flat.w, s.w);
+  s.b = std::move(flat.b);
+  return s;
+}
+
+LinearBf16 Linear::snapshot_bf16() const {
+  LinearF32 flat = snapshot_f32();
+  LinearBf16 s;
+  pack_weights(flat.w, s.w);  // bf16 overload rounds-to-nearest-even per weight
+  s.b = std::move(flat.b);
+  return s;
+}
+
 Adam::Adam(std::vector<Param*> params, double lr_in, double beta1, double beta2, double eps)
     : lr(lr_in), params_(std::move(params)), beta1_(beta1), beta2_(beta2), eps_(eps) {
   m_.reserve(params_.size());

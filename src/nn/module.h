@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "nn/mat.h"
+#include "nn/packed.h"
 #include "util/arena.h"
 #include "util/rng.h"
 
@@ -77,6 +78,27 @@ struct LinearF32 {
   int out_features() const { return w.rows(); }
 };
 
+// Blocked-layout inference snapshot: weights live in lane-blocked panels
+// (nn::PackedMat) so forward_rows runs the broadcast-FMA kernel instead of
+// the strided dot products. W = float is the default narrowed (f32) path;
+// W = bf16 stores the weights rounded to bfloat16 (round-to-nearest-even at
+// snapshot time, widened back to f32 in the kernel inner loop) — activations
+// and bias stay f32 either way. Same read-only/re-snapshot contract as
+// LinearF32.
+template <typename W>
+struct PackedLinear {
+  PackedMat<W> w;       // (out, in) lane-blocked panels
+  std::vector<float> b; // (out), always f32 (the accumulation seed)
+
+  void forward_rows(const MatF& x, MatF& y, int row_begin, int row_end) const {
+    linear_forward_rows_blocked(x, w, b, y, row_begin, row_end);
+  }
+  int in_features() const { return w.cols(); }
+  int out_features() const { return w.rows(); }
+};
+using LinearPackedF32 = PackedLinear<float>;
+using LinearBf16 = PackedLinear<bf16>;
+
 class Linear {
  public:
   Linear() = default;
@@ -96,8 +118,15 @@ class Linear {
   // are safe, which is what fans batched training out across workers.
   void backward_acc(const Mat& x, const Mat& gy, Mat& gx, Mat& gw, Mat& gb) const;
 
-  // Narrows the current parameters into an f32 inference snapshot.
+  // Narrows the current parameters into an f32 inference snapshot (row-major;
+  // kept for kernel-comparison tests/benches — the solve path snapshots the
+  // blocked variants below).
   LinearF32 snapshot_f32() const;
+  // Blocked-panel snapshots for the narrowed solve paths: f64 -> f32 (round
+  // to nearest) packed into panels, and f64 -> f32 -> bf16 (round-to-nearest-
+  // even on the second narrowing) for the storage-halved variant.
+  LinearPackedF32 snapshot_packed_f32() const;
+  LinearBf16 snapshot_bf16() const;
 
   int in_features() const { return weight_.w.cols(); }
   int out_features() const { return weight_.w.rows(); }

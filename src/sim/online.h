@@ -52,9 +52,11 @@ struct OnlineConfig {
   // sequential inners, a single-matrix trace as one sharded solve).
   int shard_count = 0;
   // NN-forward precision for the run's solves, applied and restored the same
-  // way (ignored by schemes without f32 support); nullopt leaves the
+  // way (ignored by schemes without narrowed support); nullopt leaves the
   // scheme's own setting untouched, mirroring shard_count's 0. f32 trades a
-  // bounded allocation perturbation for the vectorized narrowed forward.
+  // bounded allocation perturbation for the vectorized blocked forward;
+  // bf16 additionally halves the streamed weight storage at a larger,
+  // still-ledgered perturbation.
   std::optional<te::Precision> precision;
 };
 

@@ -32,10 +32,10 @@ struct ServedConfig {
   int shard_count = 0;
   // NN-forward precision for the served solves (applied via
   // te::Scheme::set_precision before the replica threads start, restored
-  // after the run; ignored by schemes without f32 support); nullopt leaves
-  // the scheme's own setting untouched, mirroring shard_count's 0. Unlike
-  // the shard knob this perturbs allocations within the tested f32 error
-  // bound.
+  // after the run; ignored by schemes without narrowed support); nullopt
+  // leaves the scheme's own setting untouched, mirroring shard_count's 0.
+  // Unlike the shard knob this perturbs allocations within the tested
+  // per-precision (f32/bf16) error bound.
   std::optional<te::Precision> precision;
   serve::ServeConfig serve;
 };

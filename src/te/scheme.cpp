@@ -5,7 +5,11 @@
 namespace teal::te {
 
 const char* precision_name(Precision p) {
-  return p == Precision::f32 ? "f32" : "f64";
+  switch (p) {
+    case Precision::f32: return "f32";
+    case Precision::bf16: return "bf16";
+    default: return "f64";
+  }
 }
 
 void Scheme::solve_into(const Problem& pb, const TrafficMatrix& tm, Allocation& out) {

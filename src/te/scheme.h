@@ -57,7 +57,12 @@ struct BatchSolve {
 // inference — only the neural forward narrows, the ADMM fine-tune and every
 // reduction stay double, so the flow-allocation error is bounded by logit
 // rounding alone (tests/precision_test.cpp measures the bound per topology).
-enum class Precision { f64, f32 };
+// bf16 narrows only the *stored weights* one step further (f32 -> bf16 with
+// round-to-nearest-even at snapshot time, widened back to f32 in the kernel
+// inner loop): activations, bias and every accumulation stay f32, so it is
+// f32 inference with 8-bit-mantissa weights — halved weight streaming at a
+// larger, still-ledgered allocation error.
+enum class Precision { f64, f32, bf16 };
 
 const char* precision_name(Precision p);
 
@@ -114,7 +119,8 @@ class Scheme {
   virtual int shard_count() const { return 1; }
 
   // True when the scheme can run its solve at precision `p`. LP baselines
-  // are f64-only; TealScheme also supports f32 (narrowed NN forward).
+  // are f64-only; TealScheme also supports f32 and bf16 (narrowed NN
+  // forward).
   virtual bool supports_precision(Precision p) const { return p == Precision::f64; }
 
   // Precision knob, mirroring the shard knob's conventions: callers check

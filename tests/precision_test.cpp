@@ -21,6 +21,8 @@
 #include "te/objective.h"
 #include "topo/topology.h"
 #include "traffic/traffic.h"
+#include "util/alloc_hook.h"
+#include "util/arena.h"
 
 namespace teal {
 namespace {
@@ -33,6 +35,15 @@ namespace {
 // so the test pins the *contract*, not one compiler's rounding.
 constexpr double kSplitAbsBound = 5e-3;
 constexpr double kObjectiveRelBound = 2e-3;
+
+// bf16 bounds are wider: the stored weights carry 8 mantissa bits (relative
+// rounding ~2^-9 per weight under RNE), which perturbs the logits by orders
+// of magnitude more than f32's 24-bit rounding. Activations and accumulation
+// stay f32, so the error does not compound beyond the weight rounding. As
+// with the f32 bounds these are deliberately slack vs. the observed errors
+// in the EXPERIMENTS.md ledger.
+constexpr double kBf16SplitAbsBound = 5e-2;
+constexpr double kBf16ObjectiveRelBound = 2e-2;
 
 struct SmallInstance {
   std::string name;
@@ -100,6 +111,73 @@ TEST(Precision, F32WithinBoundsOnAllTopologies) {
   }
 }
 
+TEST(Precision, Bf16WithinBoundsOnAllTopologies) {
+  // Same contract as the f32 sweep, at the bf16 storage bounds, and the f64
+  // reference must come back byte-identical after the bf16 run (toggling the
+  // knob must not perturb any f64 state).
+  const std::vector<std::pair<std::string, int>> topos = {
+      {"B4", 40}, {"SWAN", 80}, {"UsCarrier", 80}, {"Kdl", 50}, {"ASN", 50}};
+  for (const auto& [name, nd] : topos) {
+    SCOPED_TRACE(name);
+    auto inst = make_small(name, nd);
+    auto scheme = make_untrained(inst.pb);
+
+    te::Allocation a64 = scheme.solve(inst.pb, inst.tm);
+    scheme.set_precision(te::Precision::bf16);
+    ASSERT_EQ(scheme.precision(), te::Precision::bf16);
+    te::Allocation a16 = scheme.solve(inst.pb, inst.tm);
+
+    ASSERT_EQ(a16.split.size(), a64.split.size());
+    double max_abs = 0.0;
+    for (std::size_t i = 0; i < a64.split.size(); ++i) {
+      max_abs = std::max(max_abs, std::abs(a64.split[i] - a16.split[i]));
+    }
+    EXPECT_LE(max_abs, kBf16SplitAbsBound) << "max split error " << max_abs;
+
+    const double f64_obj = te::total_feasible_flow(inst.pb, inst.tm, a64);
+    const double b16_obj = te::total_feasible_flow(inst.pb, inst.tm, a16);
+    ASSERT_GT(f64_obj, 0.0);
+    EXPECT_LE(std::abs(f64_obj - b16_obj) / f64_obj, kBf16ObjectiveRelBound)
+        << "f64 " << f64_obj << " vs bf16 " << b16_obj;
+
+    scheme.set_precision(te::Precision::f64);
+    te::Allocation again = scheme.solve(inst.pb, inst.tm);
+    EXPECT_TRUE(bytes_equal(a64, again));
+  }
+}
+
+TEST(Precision, Bf16SolveDeterministicAndShardInvariant) {
+  auto inst = make_small("SWAN", 80);
+  auto scheme = make_untrained(inst.pb);
+  scheme.set_precision(te::Precision::bf16);
+
+  scheme.set_shard_count(1);
+  te::Allocation seq = scheme.solve(inst.pb, inst.tm);
+  te::Allocation seq2 = scheme.solve(inst.pb, inst.tm);
+  EXPECT_TRUE(bytes_equal(seq, seq2)) << "bf16 solve must be deterministic";
+
+  for (int shards : {2, 3, 5}) {
+    SCOPED_TRACE(shards);
+    scheme.set_shard_count(shards);
+    te::Allocation sharded = scheme.solve(inst.pb, inst.tm);
+    EXPECT_TRUE(bytes_equal(seq, sharded));
+  }
+}
+
+TEST(Precision, Bf16DiffersFromBothF64AndF32) {
+  // bf16 must be a genuinely third arithmetic: not silently f64, and not
+  // silently the f32 path with unrounded weights.
+  auto inst = make_small("SWAN", 80);
+  auto scheme = make_untrained(inst.pb);
+  te::Allocation a64 = scheme.solve(inst.pb, inst.tm);
+  scheme.set_precision(te::Precision::f32);
+  te::Allocation a32 = scheme.solve(inst.pb, inst.tm);
+  scheme.set_precision(te::Precision::bf16);
+  te::Allocation a16 = scheme.solve(inst.pb, inst.tm);
+  EXPECT_FALSE(bytes_equal(a64, a16));
+  EXPECT_FALSE(bytes_equal(a32, a16));
+}
+
 TEST(Precision, F32SolveDeterministicAndShardInvariant) {
   auto inst = make_small("SWAN", 80);
   auto scheme = make_untrained(inst.pb);
@@ -138,17 +216,22 @@ TEST(Precision, KnobSemantics) {
   auto scheme = make_untrained(inst.pb);
   EXPECT_TRUE(scheme.supports_precision(te::Precision::f64));
   EXPECT_TRUE(scheme.supports_precision(te::Precision::f32));
+  EXPECT_TRUE(scheme.supports_precision(te::Precision::bf16));
   EXPECT_EQ(scheme.precision(), te::Precision::f64);
 
   // LP baselines are f64-only and ignore the knob.
   baselines::LpAllScheme lp_all;
   EXPECT_TRUE(lp_all.supports_precision(te::Precision::f64));
   EXPECT_FALSE(lp_all.supports_precision(te::Precision::f32));
+  EXPECT_FALSE(lp_all.supports_precision(te::Precision::bf16));
   lp_all.set_precision(te::Precision::f32);
+  EXPECT_EQ(lp_all.precision(), te::Precision::f64);
+  lp_all.set_precision(te::Precision::bf16);
   EXPECT_EQ(lp_all.precision(), te::Precision::f64);
 
   EXPECT_STREQ(te::precision_name(te::Precision::f32), "f32");
   EXPECT_STREQ(te::precision_name(te::Precision::f64), "f64");
+  EXPECT_STREQ(te::precision_name(te::Precision::bf16), "bf16");
 }
 
 TEST(Precision, SchemeOverVariantModelReportsNoF32) {
@@ -162,7 +245,10 @@ TEST(Precision, SchemeOverVariantModelReportsNoF32) {
       inst.pb, std::make_unique<core::NaiveDnnModel>(core::NaiveDnnConfig{}, inst.pb),
       core::TealSchemeConfig{}, "Teal-DNN");
   EXPECT_FALSE(scheme.supports_precision(te::Precision::f32));
+  EXPECT_FALSE(scheme.supports_precision(te::Precision::bf16));
   scheme.set_precision(te::Precision::f32);
+  EXPECT_EQ(scheme.precision(), te::Precision::f64);
+  scheme.set_precision(te::Precision::bf16);
   EXPECT_EQ(scheme.precision(), te::Precision::f64);
   EXPECT_NO_THROW(scheme.solve(inst.pb, inst.tm));
 }
@@ -216,6 +302,93 @@ TEST(Precision, ServedConfigAppliesAndRestoresPrecision) {
   }
 }
 
+TEST(Precision, OnlineAndServedConfigsPlumbBf16) {
+  // The scoped-precision discipline of the PR 4 f32 knob carries to bf16
+  // unchanged: the run executes narrowed, the scheme's own setting returns.
+  auto g = topo::make_b4();
+  auto demands = traffic::sample_demands(g, 30, 7);
+  te::Problem pb(std::move(g), std::move(demands), 4);
+  traffic::TraceConfig tc;
+  tc.n_intervals = 3;
+  auto trace = traffic::generate_trace(pb, tc);
+  auto scheme = make_untrained(pb);
+
+  sim::OnlineConfig ocfg;
+  ocfg.precision = te::Precision::bf16;
+  auto ores = sim::run_online(scheme, pb, trace, ocfg);
+  EXPECT_EQ(static_cast<int>(ores.intervals.size()), trace.size());
+  EXPECT_EQ(scheme.precision(), te::Precision::f64) << "knob must be restored";
+
+  sim::ServedConfig scfg;
+  scfg.n_replicas = 1;
+  scfg.precision = te::Precision::bf16;
+  auto sres = sim::run_served(scheme, pb, trace, scfg);
+  EXPECT_EQ(sres.stats.completed, sres.stats.accepted);
+  EXPECT_EQ(scheme.precision(), te::Precision::f64) << "knob must be restored";
+
+  // Served bf16 allocations match a direct bf16 solve through the same
+  // narrowed path.
+  scheme.set_precision(te::Precision::bf16);
+  for (int t = 0; t < trace.size(); ++t) {
+    if (sres.accepted[static_cast<std::size_t>(t)] == 0) continue;
+    te::Allocation direct = scheme.solve(pb, trace.at(t));
+    EXPECT_TRUE(bytes_equal(direct, sres.allocs[static_cast<std::size_t>(t)]));
+  }
+}
+
+TEST(Precision, WarmNarrowedSolvesAllocateNothing) {
+  // The blocked kernels and the packed panels live inside the workspace
+  // allocation contract: once warm, f32 and bf16 solves must not touch the
+  // heap at all (panels are model-side snapshots built at set_precision
+  // time, outside any solve).
+  auto inst = make_small("B4", 30);
+  auto scheme = make_untrained(inst.pb);
+  te::Allocation out;
+  for (te::Precision p : {te::Precision::f32, te::Precision::bf16}) {
+    SCOPED_TRACE(te::precision_name(p));
+    scheme.set_precision(p);
+    scheme.solve_into(inst.pb, inst.tm, out);
+    scheme.solve_into(inst.pb, inst.tm, out);  // second pass: steady state
+    util::AllocCounter allocs;
+    scheme.solve_into(inst.pb, inst.tm, out);
+    EXPECT_EQ(allocs.count(), 0u)
+        << "warm narrowed solve_into must not touch the heap";
+  }
+}
+
+TEST(Precision, ColdArenaNarrowedSolveStaysO1Allocations) {
+  // Replica cold-start with the narrowed forward: a fresh workspace against
+  // a bound arena grows everything — including the blocked activations in
+  // fwd32 — in O(1) heap allocations, same budget as the f64 contract in
+  // tests/workspace_test.cpp. set_precision runs before the window: weight
+  // packing is a model-side, once-per-process cost, not a replica cost.
+  auto inst = make_small("B4", 30);
+  auto scheme = make_untrained(inst.pb);
+  for (te::Precision p : {te::Precision::f32, te::Precision::bf16}) {
+    SCOPED_TRACE(te::precision_name(p));
+    scheme.set_precision(p);
+    te::Allocation ref, out;
+    {
+      core::SolveWorkspace heap_ws;
+      scheme.solve_replica(heap_ws, inst.pb, inst.tm, ref);
+    }
+    out = ref;  // pre-sized output, as in the f64 cold-start test
+    util::Arena arena;
+    arena.reserve(1u << 20);
+    util::ArenaScope bind(&arena);
+    core::SolveWorkspace ws;
+    util::AllocCounter allocs;
+    scheme.solve_replica(ws, inst.pb, inst.tm, out);
+    EXPECT_LE(allocs.count(), 5u)
+        << "cold narrowed solve against a bound arena must stay O(1) heap allocations";
+    EXPECT_GT(arena.used(), 0u);
+    EXPECT_TRUE(bytes_equal(ref, out)) << "arena must not change the arithmetic";
+    allocs.reset();
+    scheme.solve_replica(ws, inst.pb, inst.tm, out);
+    EXPECT_EQ(allocs.count(), 0u);
+  }
+}
+
 TEST(Precision, ForwardF32RequiresPreparedWeights) {
   auto inst = make_small("B4", 30);
   core::TealModel model({}, inst.pb.k_paths(), 42);
@@ -225,6 +398,21 @@ TEST(Precision, ForwardF32RequiresPreparedWeights) {
                std::logic_error);
   model.prepare_f32();
   EXPECT_NO_THROW(model.forward_ws_f32(inst.pb, inst.tm, nullptr, fwd, plan));
+}
+
+TEST(Precision, ForwardBf16RequiresPreparedWeights) {
+  auto inst = make_small("B4", 30);
+  core::TealModel model({}, inst.pb.k_paths(), 42);
+  core::ModelForward fwd;
+  const core::ShardPlan plan = core::ShardPlan::sequential(inst.pb.num_demands());
+  EXPECT_THROW(model.forward_ws_bf16(inst.pb, inst.tm, nullptr, fwd, plan),
+               std::logic_error);
+  // prepare_f32 alone is not enough — the bf16 snapshots are separate state.
+  model.prepare_f32();
+  EXPECT_THROW(model.forward_ws_bf16(inst.pb, inst.tm, nullptr, fwd, plan),
+               std::logic_error);
+  model.prepare_bf16();
+  EXPECT_NO_THROW(model.forward_ws_bf16(inst.pb, inst.tm, nullptr, fwd, plan));
 }
 
 TEST(Precision, F32LogitsTrackF64Logits) {
