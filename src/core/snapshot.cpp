@@ -1,0 +1,31 @@
+#include "core/snapshot.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace teal::core {
+
+ModelHub::ModelHub(std::shared_ptr<Model> initial) {
+  if (!initial) throw std::invalid_argument("ModelHub: initial model is null");
+  cur_.model = std::move(initial);
+  cur_.version = 1;
+}
+
+ModelSnapshot ModelHub::acquire() const {
+  std::lock_guard lk(mu_);
+  return cur_;
+}
+
+std::uint64_t ModelHub::publish(std::shared_ptr<Model> m) {
+  if (!m) throw std::invalid_argument("ModelHub::publish: model is null");
+  std::lock_guard lk(mu_);
+  cur_.model = std::move(m);
+  return ++cur_.version;
+}
+
+std::uint64_t ModelHub::version() const {
+  std::lock_guard lk(mu_);
+  return cur_.version;
+}
+
+}  // namespace teal::core

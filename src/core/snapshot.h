@@ -1,0 +1,73 @@
+// snapshot.h — versioned model snapshots, the train→serve publication seam.
+//
+// The paper's online setting implies a loop: a background trainer keeps
+// improving the model while replicas keep serving it. The two sides must
+// never share mutable weights — a replica reading a half-written parameter
+// matrix would produce an allocation that matches *no* model version. The
+// seam that keeps them apart is immutability plus versioning:
+//
+//   trainer ── publish(model) ──► ModelHub ── acquire() ──► replica solve
+//                (new version)     (current     (pins one version for the
+//                                   snapshot)    whole solve)
+//
+// A ModelSnapshot is an immutable published version: once inside the hub,
+// nobody mutates the model again (training always happens on a *different*
+// instance; precision weight snapshots are taken before publication). A
+// replica pins the current snapshot at solve start and runs the entire
+// forward + fine-tune against it, so a publish that lands mid-solve changes
+// nothing for that solve — it finishes bit-identically on the old version,
+// which stays alive until the last in-flight solve drops its reference
+// (shared_ptr). Solves admitted after the publish see the new version.
+//
+// Scalability: acquire() is a shared_ptr copy under a mutex held for a few
+// instructions — replicas touch no common mutable state besides that pointer,
+// so the hub never becomes the serialization point a global model lock would
+// be (the scalable-commutativity design rule: per-replica state commutes;
+// the registry is read-mostly).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "core/model.h"
+
+namespace teal::core {
+
+// One immutable published model version. `model` is read-only from the
+// moment it enters a ModelHub: inference calls only const methods, and every
+// mutation (training, precision snapshotting) must happen before publish.
+struct ModelSnapshot {
+  std::shared_ptr<Model> model;
+  std::uint64_t version = 0;
+};
+
+// The publication point between one trainer and many replicas. publish()
+// installs a new snapshot and bumps the version counter; acquire() hands out
+// the current snapshot. Both are safe from any thread, any time.
+class ModelHub {
+ public:
+  // The initial model becomes version 1 (version 0 = "never published",
+  // reserved so staleness checks can use 0 as a sentinel).
+  explicit ModelHub(std::shared_ptr<Model> initial);
+
+  ModelHub(const ModelHub&) = delete;
+  ModelHub& operator=(const ModelHub&) = delete;
+
+  // Pins the current version: the returned snapshot (and the model behind
+  // it) stays valid for as long as the caller holds it, regardless of how
+  // many publishes happen meanwhile. Replicas call this once per solve.
+  ModelSnapshot acquire() const;
+
+  // Atomically replaces the current snapshot; returns the new version.
+  // `m` must not be mutated after this call (it is now visible to replicas).
+  std::uint64_t publish(std::shared_ptr<Model> m);
+
+  std::uint64_t version() const;
+
+ private:
+  mutable std::mutex mu_;
+  ModelSnapshot cur_;  // guarded by mu_
+};
+
+}  // namespace teal::core

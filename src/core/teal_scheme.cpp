@@ -1,6 +1,7 @@
 #include "core/teal_scheme.h"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "lp/path_lp.h"
 #include "util/thread_pool.h"
@@ -24,8 +25,19 @@ AdmmConfig make_admm_config(const te::Problem& pb, const TealSchemeConfig& cfg) 
 
 TealScheme::TealScheme(const te::Problem& pb, std::unique_ptr<Model> model,
                        const TealSchemeConfig& cfg, std::string name)
-    : model_(std::move(model)), cfg_(cfg), admm_(pb, make_admm_config(pb, cfg)),
-      name_(std::move(name)) {}
+    : hub_(std::shared_ptr<Model>(std::move(model))), cfg_(cfg),
+      admm_(pb, make_admm_config(pb, cfg)), name_(std::move(name)) {}
+
+std::uint64_t TealScheme::publish_model(std::unique_ptr<Model> m) {
+  if (!m) throw std::invalid_argument("TealScheme::publish_model: model is null");
+  // Mutation-before-visibility: narrowed weight mirrors matching the current
+  // precision knob are built on the new model while it is still private to
+  // this call. Once published the model is immutable (replicas may be reading
+  // it from any thread).
+  if (precision_ == te::Precision::f32 && m->supports_f32_forward()) m->prepare_f32();
+  if (precision_ == te::Precision::bf16 && m->supports_bf16_forward()) m->prepare_bf16();
+  return hub_.publish(std::shared_ptr<Model>(std::move(m)));
+}
 
 ShardPlan TealScheme::plan_shards(const te::Problem& pb, int shard_count) const {
   const int nd = pb.num_demands();
@@ -38,6 +50,11 @@ void TealScheme::solve_with(SolveWorkspace& ws, const te::Problem& pb,
                             const te::TrafficMatrix& tm, te::Allocation& out,
                             double* seconds_out, int shard_count) const {
   util::Timer timer;
+  // Pin one model version for the whole solve: a publish_model() landing
+  // mid-solve changes nothing here — the snapshot's shared_ptr keeps the old
+  // version alive and this solve finishes bit-identically on it.
+  const ModelSnapshot snap = hub_.acquire();
+  const Model& model = *snap.model;
   const ShardPlan plan = plan_shards(pb, shard_count);
   ws.prepare_shards(plan);
   ShardStat* stats = ws.shard_stats.data();
@@ -46,15 +63,15 @@ void TealScheme::solve_with(SolveWorkspace& ws, const te::Problem& pb,
   // through the float mirror workspace — bf16 only changes which weight
   // panels the kernels read — and widen logits/mask back to double, so
   // everything from the softmax down is precision-oblivious.
-  const bool f32 = precision_ == te::Precision::f32 && model_->supports_f32_forward();
-  const bool bf16 = precision_ == te::Precision::bf16 && model_->supports_bf16_forward();
+  const bool f32 = precision_ == te::Precision::f32 && model.supports_f32_forward();
+  const bool bf16 = precision_ == te::Precision::bf16 && model.supports_bf16_forward();
   ModelForward& fwd = (f32 || bf16) ? ws.fwd32 : ws.fwd;
   if (bf16) {
-    model_->forward_ws_bf16(pb, tm, &ws.caps, fwd, plan, stats);
+    model.forward_ws_bf16(pb, tm, &ws.caps, fwd, plan, stats);
   } else if (f32) {
-    model_->forward_ws_f32(pb, tm, &ws.caps, fwd, plan, stats);
+    model.forward_ws_f32(pb, tm, &ws.caps, fwd, plan, stats);
   } else {
-    model_->forward_ws(pb, tm, &ws.caps, fwd, plan, stats);
+    model.forward_ws(pb, tm, &ws.caps, fwd, plan, stats);
   }
   // Masked softmax + allocation writeback, fused per demand slice (sized on
   // this thread first — resize must not run under the fan-out). The mask

@@ -23,6 +23,7 @@
 #include "core/coma.h"
 #include "core/direct_loss.h"
 #include "core/model.h"
+#include "core/snapshot.h"
 #include "core/solve_workspace.h"
 #include "te/scheme.h"
 #include "traffic/traffic.h"
@@ -90,17 +91,32 @@ class TealScheme : public te::Scheme {
   // support while silently solving in f64 would corrupt any narrowed-vs-f64
   // comparison run against them.
   bool supports_precision(te::Precision p) const override {
+    const ModelSnapshot snap = hub_.acquire();
     if (p == te::Precision::f64) return true;
-    if (p == te::Precision::bf16) return model_->supports_bf16_forward();
-    return model_->supports_f32_forward();
+    if (p == te::Precision::bf16) return snap.model->supports_bf16_forward();
+    return snap.model->supports_f32_forward();
   }
   void set_precision(te::Precision p) override {
     if (!supports_precision(p)) return;  // knob contract: unsupported = ignored
-    if (p == te::Precision::f32) model_->prepare_f32();
-    if (p == te::Precision::bf16) model_->prepare_bf16();
+    const ModelSnapshot snap = hub_.acquire();
+    if (p == te::Precision::f32) snap.model->prepare_f32();
+    if (p == te::Precision::bf16) snap.model->prepare_bf16();
     precision_ = p;
   }
   te::Precision precision() const override { return precision_; }
+
+  // Live hot-swap (ModelHub publication seam): installs `m` as the new
+  // current model and returns its version. Precision snapshots matching the
+  // scheme's current knob are prepared on `m` *before* it becomes visible
+  // (mutation-before-visibility), so replicas never observe a model whose
+  // narrowed mirrors are mid-construction. Solves already running keep their
+  // pinned snapshot and finish bit-identically on the old version; solves
+  // that start after this call use `m`. Safe to call from a trainer thread
+  // while replicas solve concurrently. Workspace forward caches re-key off
+  // ModelForward::owner, so the first post-swap solve per workspace
+  // reallocates its cache (monotonic arena growth — see DESIGN.md).
+  std::uint64_t publish_model(std::unique_ptr<Model> m);
+  std::uint64_t model_version() const { return hub_.version(); }
 
   // Thread-safe replica entry point for the serving layer: one solve through
   // a caller-owned workspace. Distinct workspaces share no mutable state and
@@ -120,7 +136,11 @@ class TealScheme : public te::Scheme {
     solve_with(ws, pb, tm, out, seconds_out, shard_count);
   }
 
-  Model& model() { return *model_; }
+  // Current published model. The hub keeps a reference, so the returned
+  // reference stays valid until the next publish_model() — callers that need
+  // publish-safety should pin a snapshot via model_version()/publish flows
+  // instead. Intended for pre-serving setup (training, inspection).
+  Model& model() { return *hub_.acquire().model; }
   const Admm& admm() const { return admm_; }
 
   // Drops all warm buffers (single-solve and batch workspaces). Used by the
@@ -138,7 +158,10 @@ class TealScheme : public te::Scheme {
   // thread's available parallelism.
   ShardPlan plan_shards(const te::Problem& pb, int shard_count) const;
 
-  std::unique_ptr<Model> model_;
+  // Publication seam between a (background) trainer and this scheme's
+  // replicas: solve_with pins one snapshot per solve; publish_model swaps in
+  // a new version without disturbing in-flight solves.
+  ModelHub hub_;
   TealSchemeConfig cfg_;
   Admm admm_;
   std::string name_;

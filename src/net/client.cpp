@@ -1,5 +1,6 @@
 #include "net/client.h"
 
+#include <chrono>
 #include <stdexcept>
 #include <vector>
 
@@ -8,10 +9,17 @@ namespace teal::net {
 Client::Client(const std::string& host, std::uint16_t port, std::size_t max_payload)
     : sock_(util::connect_tcp(host, port)), decoder_(max_payload) {}
 
-std::uint32_t Client::send_solve(const te::TrafficMatrix& tm) {
+void Client::set_read_timeout(double seconds) {
+  read_timeout_ = seconds > 0.0 ? seconds : 0.0;
+  // SO_RCVTIMEO bounds each kernel read so the deadline checks in
+  // wait_reply()/ping() actually get to run (0 restores fully blocking).
+  util::set_recv_timeout(sock_, read_timeout_);
+}
+
+std::uint32_t Client::send_solve(const te::TrafficMatrix& tm, const std::string& tenant) {
   const std::uint32_t id = next_id_++;
   std::vector<std::uint8_t> bytes;
-  encode_solve_request(bytes, id, tm);
+  encode_solve_request(bytes, id, tm, tenant);
   if (!util::write_all(sock_, bytes.data(), bytes.size())) {
     throw std::runtime_error("net::Client: server closed the connection on send");
   }
@@ -19,6 +27,11 @@ std::uint32_t Client::send_solve(const te::TrafficMatrix& tm) {
 }
 
 Client::Reply Client::wait_reply() {
+  using Clock = std::chrono::steady_clock;
+  const Clock::time_point deadline =
+      read_timeout_ > 0.0 ? Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                               std::chrono::duration<double>(read_timeout_))
+                          : Clock::time_point::max();
   Frame f;
   for (;;) {
     const DecodeStatus st = decoder_.next(f);
@@ -29,8 +42,15 @@ Client::Reply Client::wait_reply() {
     std::uint8_t buf[32 * 1024];
     const int n = util::read_some(sock_, buf, sizeof(buf));
     if (n == 0) throw std::runtime_error("net::Client: server closed the connection");
-    if (n > 0) decoder_.feed(buf, static_cast<std::size_t>(n));
-    // n < 0 (EINTR on a blocking socket): retry
+    if (n > 0) {
+      decoder_.feed(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    // n < 0: EINTR, or SO_RCVTIMEO expired — bounded waits must give up
+    // rather than retry forever against a wedged server.
+    if (Clock::now() >= deadline) {
+      throw std::runtime_error("net::Client: timed out waiting for a reply");
+    }
   }
 
   Reply r;
@@ -60,16 +80,21 @@ Client::Reply Client::wait_reply() {
   }
 }
 
-Client::Reply Client::solve(const te::TrafficMatrix& tm) {
-  send_solve(tm);
+Client::Reply Client::solve(const te::TrafficMatrix& tm, const std::string& tenant) {
+  send_solve(tm, tenant);
   return wait_reply();
 }
 
 bool Client::ping() {
+  using Clock = std::chrono::steady_clock;
   const std::uint32_t id = next_id_++;
   std::vector<std::uint8_t> bytes;
   encode_ping(bytes, id);
   if (!util::write_all(sock_, bytes.data(), bytes.size())) return false;
+  const Clock::time_point deadline =
+      read_timeout_ > 0.0 ? Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                               std::chrono::duration<double>(read_timeout_))
+                          : Clock::time_point::max();
   Frame f;
   for (;;) {
     const DecodeStatus st = decoder_.next(f);
@@ -78,7 +103,11 @@ bool Client::ping() {
     std::uint8_t buf[4096];
     const int n = util::read_some(sock_, buf, sizeof(buf));
     if (n == 0) return false;
-    if (n > 0) decoder_.feed(buf, static_cast<std::size_t>(n));
+    if (n > 0) {
+      decoder_.feed(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (Clock::now() >= deadline) return false;  // timed out: server is wedged
   }
   return f.type == FrameType::kPong && f.request_id == id;
 }

@@ -39,15 +39,26 @@ class Client {
 
   // Pipelined primitives. send_solve returns the request id its reply will
   // echo; wait_reply blocks for the next reply frame in arrival order and
-  // throws std::runtime_error when the server hangs up or talks garbage.
-  std::uint32_t send_solve(const te::TrafficMatrix& tm);
+  // throws std::runtime_error when the server hangs up, talks garbage, or
+  // the read timeout (set_read_timeout) expires. `tenant` names the fleet
+  // tenant the request routes to ("" = the server's default tenant).
+  std::uint32_t send_solve(const te::TrafficMatrix& tm, const std::string& tenant = "");
   Reply wait_reply();
 
   // One request, one reply (ids matched by the caller being synchronous).
-  Reply solve(const te::TrafficMatrix& tm);
+  Reply solve(const te::TrafficMatrix& tm, const std::string& tenant = "");
 
-  // Ping round trip; false when the server is gone.
+  // Ping round trip; false when the server is gone (or the timeout expired).
   bool ping();
+
+  // Bounds every blocking read in wait_reply()/ping(): a server that
+  // accepted the connection but never answers can no longer wedge the caller
+  // forever (the satellite failure mode of a hung serve backend). 0 restores
+  // the default — block indefinitely. The bound is per wait_reply() call,
+  // enforced with SO_RCVTIMEO underneath so each kernel read wakes up in
+  // time to check the deadline.
+  void set_read_timeout(double seconds);
+  double read_timeout() const { return read_timeout_; }
 
   // Abrupt teardown (RST-ish: just closes the fd, flushing nothing). The
   // disconnect-mid-request test uses this to walk away from an in-flight
@@ -60,6 +71,7 @@ class Client {
   util::Socket sock_;
   FrameDecoder decoder_;
   std::uint32_t next_id_ = 1;
+  double read_timeout_ = 0.0;  // 0 = block forever
 };
 
 }  // namespace teal::net

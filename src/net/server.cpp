@@ -36,14 +36,22 @@ struct Server::Core {
   std::uint64_t next_session_id = 1;
 
   // Routes a completed solve to its session's outbox, or drops it when the
-  // client already disconnected. Called from replica threads.
+  // client already disconnected. Called from replica threads. A negative
+  // solve_seconds is the serve layer's failure sentinel (every replica died
+  // before this request could run — serve::Server::fail_request): the client
+  // gets a typed error instead of an allocation that was never computed.
   void complete(const PendingSolve& slot, double solve_seconds) {
     bool delivered = false;
     {
       std::lock_guard lk(mu);
       auto it = sessions.find(slot.session_id);
       if (it != sessions.end()) {
-        it->second->queue_response(slot.request_id, slot.out, solve_seconds);
+        if (solve_seconds < 0.0) {
+          it->second->queue_error(slot.request_id, ErrorCode::kInternal,
+                                  "request failed: no replica available");
+        } else {
+          it->second->queue_response(slot.request_id, slot.out, solve_seconds);
+        }
         delivered = true;
       } else {
         ++totals.dropped_responses;
@@ -64,10 +72,29 @@ struct Server::Core {
 };
 
 Server::Server(serve::Server& backend, const te::Problem& pb, NetServerConfig cfg)
-    : backend_(backend), pb_(pb), cfg_(cfg), core_(std::make_shared<Core>()) {
+    : backend_(&backend), pb_(&pb), cfg_(cfg), core_(std::make_shared<Core>()) {
   listener_ = util::listen_tcp(cfg_.host, cfg_.port, &port_);
   util::set_nonblocking(listener_, true);
   io_thread_ = std::thread([this] { io_loop(); });
+}
+
+Server::Server(serve::Fleet& fleet, NetServerConfig cfg)
+    : fleet_(&fleet), cfg_(cfg), core_(std::make_shared<Core>()) {
+  listener_ = util::listen_tcp(cfg_.host, cfg_.port, &port_);
+  util::set_nonblocking(listener_, true);
+  io_thread_ = std::thread([this] { io_loop(); });
+}
+
+Server::Route Server::resolve(const std::string& tenant) {
+  if (fleet_ != nullptr) {
+    const serve::Fleet::Route r = fleet_->route(tenant);
+    return Route{r.server, r.pb};
+  }
+  // Single-tenant mode serves exactly one (default) tenant; any name is a
+  // routing miss, not a silent fallthrough to the only backend — a client
+  // that asked for "wan-eu" must not get "wan-us" allocations.
+  if (!tenant.empty()) return {};
+  return Route{backend_, pb_};
 }
 
 Server::~Server() { stop(); }
@@ -89,18 +116,25 @@ NetStats Server::stats() const {
   return s;
 }
 
-bool Server::submit_solve(Session& session, std::uint32_t request_id,
-                          te::TrafficMatrix&& tm, ShedReason& reason) {
+SubmitOutcome Server::submit_solve(Session& session, std::uint32_t request_id,
+                                   const std::string& tenant, te::TrafficMatrix&& tm,
+                                   ShedReason& reason, int& expected_demands) {
   if (core_->stopping.load(std::memory_order_relaxed)) {
     reason = ShedReason::kStopping;
-    return false;
+    return SubmitOutcome::kShed;
+  }
+  const Route route = resolve(tenant);
+  if (route.server == nullptr) return SubmitOutcome::kUnknownTenant;
+  if (static_cast<int>(tm.volume.size()) != route.pb->num_demands()) {
+    expected_demands = route.pb->num_demands();
+    return SubmitOutcome::kBadDemandCount;
   }
   auto slot = std::make_shared<PendingSolve>();
   slot->tm = std::move(tm);
   slot->request_id = request_id;
   slot->session_id = session.id();
   std::weak_ptr<Core> weak_core = core_;
-  const serve::SubmitResult res = backend_.submit(
+  const serve::SubmitResult res = route.server->submit(
       slot->tm, slot->out, [weak_core, slot](double solve_seconds) {
         if (auto core = weak_core.lock()) core->complete(*slot, solve_seconds);
         // else: net server destroyed while the backend drained; the slot
@@ -108,30 +142,31 @@ bool Server::submit_solve(Session& session, std::uint32_t request_id,
       });
   switch (res) {
     case serve::SubmitResult::kAccepted:
-      return true;
+      return SubmitOutcome::kAccepted;
     case serve::SubmitResult::kShedAdmission:
       reason = ShedReason::kAdmission;
-      return false;
+      return SubmitOutcome::kShed;
     case serve::SubmitResult::kShedQueueFull:
       reason = ShedReason::kQueueFull;
-      return false;
+      return SubmitOutcome::kShed;
     case serve::SubmitResult::kShedStopping:
       // The backend stopped independently of this net server (its queue is
       // closed); clients see the true cause, not a guessed admission shed.
       reason = ShedReason::kStopping;
-      return false;
+      return SubmitOutcome::kShed;
   }
   reason = ShedReason::kQueueFull;  // unreachable; keeps -Wreturn-type quiet
-  return false;
+  return SubmitOutcome::kShed;
 }
 
 void Server::io_loop() {
   util::set_current_thread_name("teal-net", 0);
   Core& core = *core_;
-  const Session::SubmitFn submit = [this](Session& s, std::uint32_t id,
-                                          te::TrafficMatrix&& tm, ShedReason& reason) {
-    return submit_solve(s, id, std::move(tm), reason);
-  };
+  const Session::SubmitFn submit =
+      [this](Session& s, std::uint32_t id, const std::string& tenant,
+             te::TrafficMatrix&& tm, ShedReason& reason, int& expected_demands) {
+        return submit_solve(s, id, tenant, std::move(tm), reason, expected_demands);
+      };
 
   std::vector<pollfd> pfds;
   std::vector<Session*> polled;  // parallel to pfds[2..]
@@ -166,7 +201,7 @@ void Server::io_loop() {
         if (core.sessions.size() >= cfg_.max_connections) break;  // raced past cap
         const std::uint64_t id = core.next_session_id++;
         core.sessions.emplace(
-            id, std::make_unique<Session>(id, std::move(conn), pb_, cfg_.max_payload,
+            id, std::make_unique<Session>(id, std::move(conn), cfg_.max_payload,
                                           cfg_.max_outbox_bytes));
         ++core.totals.connections_accepted;
       }

@@ -1,18 +1,20 @@
 // server.h — the TCP front door of the serving layer.
 //
-// net::Server turns a serve::Server (bounded MPMC queue + deadline admission
-// + N replicas, PR 2) into a network service: it accepts standing TCP
-// connections, runs one Session per connection, and plumbs validated solve
-// requests into the backend's queue. The division of labour:
+// net::Server turns a serving backend into a network service: it accepts
+// standing TCP connections, runs one Session per connection, and plumbs
+// validated solve requests into the backend's queue. The backend is either a
+// single serve::Server (one tenant, the PR 7 shape — the legacy constructor)
+// or a serve::Fleet, where each request's tenant field routes it to that
+// tenant's server and problem. The division of labour:
 //
-//   client ── TCP ──► Session (wire.h decode, validate)
-//                        │ submit                  ▲ outbox
+//   client ── TCP ──► Session (wire.h decode)
+//                        │ submit(tenant, tm)      ▲ outbox
 //                        ▼                         │
-//                  serve::Server queue ──► replica solves ──► completion
-//                        │ refuse                  (callback re-routes the
-//                        ▼                          response to the session
-//                  kShed frame back                 by id, or drops it if
-//                  on the socket                    the client is gone)
+//                  route tenant ──► serve queue ──► replica solves ──► completion
+//                        │ refuse /                (callback re-routes the
+//                        ▼ unknown tenant           response to the session
+//                  kShed / kError frame             by id, or drops it if
+//                  back on the socket               the client is gone)
 //
 // Threading: ONE I/O thread owns the listener, every socket read, and every
 // socket write (a poll() loop — sessions are level-triggered on POLLIN and
@@ -39,6 +41,7 @@
 
 #include "net/session.h"
 #include "net/wire.h"
+#include "serve/fleet.h"
 #include "serve/server.h"
 #include "te/problem.h"
 
@@ -69,11 +72,17 @@ struct NetStats {
 
 class Server {
  public:
-  // Binds and starts the I/O thread immediately. `backend` and `pb` must
-  // outlive the server; `pb` must be the same problem the backend's replicas
-  // solve (its demand count validates every request). Throws
-  // std::system_error when the address cannot be bound.
+  // Single-tenant form: binds and starts the I/O thread immediately.
+  // `backend` and `pb` must outlive the server; `pb` must be the same
+  // problem the backend's replicas solve (its demand count validates every
+  // request). Only the default tenant ("") routes here — a named tenant in a
+  // request gets kUnknownTenant. Throws std::system_error when the address
+  // cannot be bound.
   Server(serve::Server& backend, const te::Problem& pb, NetServerConfig cfg = {});
+  // Fleet form: requests route by their tenant field through fleet.route()
+  // ("" = the fleet's default tenant). The fleet must be started before the
+  // first request arrives and must outlive the server.
+  Server(serve::Fleet& fleet, NetServerConfig cfg = {});
   ~Server();  // stop()
 
   Server(const Server&) = delete;
@@ -92,12 +101,23 @@ class Server {
  private:
   struct Core;  // shared with in-flight completion callbacks (weakly)
 
-  void io_loop();
-  bool submit_solve(Session& session, std::uint32_t request_id, te::TrafficMatrix&& tm,
-                    ShedReason& reason);
+  // Tenant resolution: the fleet's route() in fleet mode, the fixed
+  // backend/problem pair (default tenant only) in single-tenant mode.
+  struct Route {
+    serve::Server* server = nullptr;
+    const te::Problem* pb = nullptr;
+  };
+  Route resolve(const std::string& tenant);
 
-  serve::Server& backend_;
-  const te::Problem& pb_;
+  void io_loop();
+  SubmitOutcome submit_solve(Session& session, std::uint32_t request_id,
+                             const std::string& tenant, te::TrafficMatrix&& tm,
+                             ShedReason& reason, int& expected_demands);
+
+  // Exactly one of {fleet_, backend_} is set; pb_ pairs with backend_.
+  serve::Fleet* fleet_ = nullptr;
+  serve::Server* backend_ = nullptr;
+  const te::Problem* pb_ = nullptr;
   NetServerConfig cfg_;
   util::Socket listener_;
   std::uint16_t port_ = 0;

@@ -11,13 +11,13 @@ void SessionStats::accumulate(const SessionStats& other) {
   pings += other.pings;
   protocol_errors += other.protocol_errors;
   bad_requests += other.bad_requests;
+  unknown_tenants += other.unknown_tenants;
 }
 
-Session::Session(std::uint64_t id, util::Socket sock, const te::Problem& pb,
-                 std::size_t max_payload, std::size_t max_outbox)
+Session::Session(std::uint64_t id, util::Socket sock, std::size_t max_payload,
+                 std::size_t max_outbox)
     : id_(id),
       sock_(std::move(sock)),
-      pb_(pb),
       decoder_(max_payload),
       max_outbox_(max_outbox == 0 ? kDefaultMaxOutboxBytes : max_outbox) {
   util::set_nonblocking(sock_, true);
@@ -87,40 +87,48 @@ void Session::handle_frame(Frame&& f, const SubmitFn& submit) {
     }
     case FrameType::kSolveRequest: {
       te::TrafficMatrix tm;
-      if (!parse_solve_request(f.payload, tm)) {
+      std::string tenant;
+      if (!parse_solve_request(f.payload, tm, tenant)) {
         std::lock_guard lk(out_mu_);
         ++stats_.frames_in;
         ++stats_.protocol_errors;
         encode_error(bytes, f.request_id, ErrorCode::kMalformed,
-                     "solve request payload inconsistent with declared count");
+                     "solve request payload inconsistent with declared counts");
         append_locked(bytes);
         close_after_flush_ = true;
         return;
       }
-      if (static_cast<int>(tm.volume.size()) != pb_.num_demands()) {
-        // Well-framed but wrong-shaped: answer with a typed error and keep
-        // the connection — the client may serve several problems and only
-        // mixed this one up.
-        std::lock_guard lk(out_mu_);
-        ++stats_.frames_in;
-        ++stats_.bad_requests;
-        encode_error(bytes, f.request_id, ErrorCode::kBadDemandCount,
-                     "expected " + std::to_string(pb_.num_demands()) +
-                         " demands, got " + std::to_string(tm.volume.size()));
-        append_locked(bytes);
-        return;
-      }
+      const std::size_t got_demands = tm.volume.size();
       ShedReason reason = ShedReason::kAdmission;
-      const bool ok = submit(*this, f.request_id, std::move(tm), reason);
+      int expected_demands = -1;
+      const SubmitOutcome oc =
+          submit(*this, f.request_id, tenant, std::move(tm), reason, expected_demands);
       std::lock_guard lk(out_mu_);
       ++stats_.frames_in;
-      if (ok) {
-        ++stats_.requests;  // response arrives via queue_response later
-      } else {
-        ++stats_.shed;
-        encode_shed(bytes, f.request_id, reason);
-        append_locked(bytes);
+      switch (oc) {
+        case SubmitOutcome::kAccepted:
+          ++stats_.requests;  // response arrives via queue_response later
+          return;
+        case SubmitOutcome::kShed:
+          ++stats_.shed;
+          encode_shed(bytes, f.request_id, reason);
+          break;
+        case SubmitOutcome::kUnknownTenant:
+          // Typed error, connection stays usable — the client may serve many
+          // tenants and only misrouted this one request.
+          ++stats_.unknown_tenants;
+          encode_error(bytes, f.request_id, ErrorCode::kUnknownTenant,
+                       "unknown tenant '" + tenant + "'");
+          break;
+        case SubmitOutcome::kBadDemandCount:
+          // Well-framed but wrong-shaped for the routed tenant; stays usable.
+          ++stats_.bad_requests;
+          encode_error(bytes, f.request_id, ErrorCode::kBadDemandCount,
+                       "expected " + std::to_string(expected_demands) + " demands, got " +
+                           std::to_string(got_demands));
+          break;
       }
+      append_locked(bytes);
       return;
     }
     default: {

@@ -3,9 +3,10 @@
 // A Session owns everything a single client connection needs: the socket,
 // the incremental FrameDecoder, the outgoing byte queue (outbox), and the
 // per-connection accounting. It implements the server side of the protocol
-// state machine — ping answered with pong, solve requests validated against
-// the served Problem and handed to the submit hook, anything else answered
-// with an error frame — while staying transport-driven: the I/O thread calls
+// state machine — ping answered with pong, solve requests parsed and handed
+// to the submit hook (which routes the tenant and validates the demand count
+// against that tenant's Problem), anything else answered with an error
+// frame — while staying transport-driven: the I/O thread calls
 // on_readable()/flush() when poll() says so, and replica threads deliver
 // completed solves through queue_response().
 //
@@ -51,25 +52,39 @@ struct SessionStats {
   std::uint64_t pings = 0;
   std::uint64_t protocol_errors = 0;  // malformed frames / streams
   std::uint64_t bad_requests = 0;     // well-formed but wrong demand count
+  std::uint64_t unknown_tenants = 0;  // well-formed, no such tenant
 
   void accumulate(const SessionStats& other);
 };
 
+// What the backend did with a routed solve request. The session turns each
+// refusal shape into the right frame: kShed carries the ShedReason, the two
+// validation outcomes carry typed error frames, and all of them leave the
+// connection usable (only malformed streams close it).
+enum class SubmitOutcome : std::uint8_t {
+  kAccepted,        // queued; response arrives later via queue_response
+  kShed,            // backend refused (reason names why)
+  kUnknownTenant,   // no tenant by that name in the fleet
+  kBadDemandCount,  // demand count does not match the tenant's problem
+};
+
 class Session {
  public:
-  // Backend hook: enqueue a validated solve. Returns true when the request
-  // was accepted (its response arrives later via queue_response), false when
-  // it was shed — then `reason` names why. The callee owns routing the
-  // completion back to this session by id.
-  using SubmitFn =
-      std::function<bool(Session& session, std::uint32_t request_id,
-                         te::TrafficMatrix&& tm, ShedReason& reason)>;
+  // Backend hook: route `tenant` ("" = default) and enqueue a validated
+  // solve. On kShed the hook sets `reason`; on kBadDemandCount it sets
+  // `expected_demands` (the tenant's demand count, for the error message).
+  // The callee owns routing the completion back to this session by id — the
+  // session itself is tenant-agnostic, which is what keeps multi-tenant
+  // routing out of the protocol state machine. Demand-count validation lives
+  // behind the hook too (not here): only the routed tenant's Problem knows
+  // the right count.
+  using SubmitFn = std::function<SubmitOutcome(
+      Session& session, std::uint32_t request_id, const std::string& tenant,
+      te::TrafficMatrix&& tm, ShedReason& reason, int& expected_demands)>;
 
-  // `pb` fixes the demand count every request is validated against and must
-  // outlive the session (same lifetime contract as serve::Server).
   // `max_outbox` bounds undelivered response bytes (0 = the default cap).
-  Session(std::uint64_t id, util::Socket sock, const te::Problem& pb,
-          std::size_t max_payload, std::size_t max_outbox = kDefaultMaxOutboxBytes);
+  Session(std::uint64_t id, util::Socket sock, std::size_t max_payload,
+          std::size_t max_outbox = kDefaultMaxOutboxBytes);
 
   std::uint64_t id() const { return id_; }
   int fd() const { return sock_.fd(); }
@@ -106,7 +121,6 @@ class Session {
 
   const std::uint64_t id_;
   util::Socket sock_;
-  const te::Problem& pb_;
   FrameDecoder decoder_;
   const std::size_t max_outbox_;
 

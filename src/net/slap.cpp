@@ -18,6 +18,22 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
+// One outstanding request: when it was sent and which workload (tenant) it
+// belongs to, so the reply — or its absence — books against the right ledger.
+struct InFlight {
+  Clock::time_point sent;
+  std::uint32_t workload = 0;
+};
+
+// Per-workload counters local to one connection; merged per tenant at the end.
+struct TenantLocal {
+  std::uint64_t offered = 0;
+  std::uint64_t responses = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t errors = 0;
+  util::LatencyHistogram latency;
+};
+
 // Per-connection state shared between its writer and reader thread. The
 // in-flight map is the only contended structure: the writer records the send
 // timestamp *before* the bytes hit the socket, so the reader can never see a
@@ -25,12 +41,9 @@ using Clock = std::chrono::steady_clock;
 struct Conn {
   util::Socket sock;
   std::mutex mu;
-  std::unordered_map<std::uint32_t, Clock::time_point> in_flight;
+  std::unordered_map<std::uint32_t, InFlight> in_flight;
 
-  std::uint64_t offered = 0;
-  std::uint64_t responses = 0;
-  std::uint64_t shed = 0;
-  std::uint64_t errors = 0;
+  std::vector<TenantLocal> tenants;  // one per workload, guarded by mu
   util::LatencyHistogram latency;
   Clock::time_point last_reply{};
   Clock::time_point writer_end{};
@@ -38,9 +51,40 @@ struct Conn {
   std::atomic<bool> dead{false};
 };
 
+// Deterministic smooth weighted round-robin: slot i of the global schedule
+// goes to the workload with the highest accumulated credit (weight added
+// every slot, total subtracted on selection). The same weights always
+// produce the same interleaving — per-tenant offered counts are exactly
+// reproducible, which the per-tenant invariant tests rely on.
+std::vector<std::uint32_t> build_schedule(const std::vector<SlapWorkload>& workloads,
+                                          std::uint64_t total) {
+  std::vector<std::uint32_t> schedule(total, 0);
+  if (workloads.size() <= 1) return schedule;
+  double wsum = 0.0;
+  for (const auto& w : workloads) wsum += w.weight > 0.0 ? w.weight : 0.0;
+  if (wsum <= 0.0) {  // all-zero weights: plain round-robin
+    for (std::uint64_t i = 0; i < total; ++i) {
+      schedule[i] = static_cast<std::uint32_t>(i % workloads.size());
+    }
+    return schedule;
+  }
+  std::vector<double> credit(workloads.size(), 0.0);
+  for (std::uint64_t i = 0; i < total; ++i) {
+    std::size_t best = 0;
+    for (std::size_t w = 0; w < workloads.size(); ++w) {
+      credit[w] += workloads[w].weight > 0.0 ? workloads[w].weight : 0.0;
+      if (credit[w] > credit[best]) best = w;
+    }
+    credit[best] -= wsum;
+    schedule[i] = static_cast<std::uint32_t>(best);
+  }
+  return schedule;
+}
+
 void writer_loop(Conn& conn, int index, int stride, std::uint64_t total,
                  double target_rps, Clock::time_point start,
-                 const std::vector<te::TrafficMatrix>& requests) {
+                 const std::vector<SlapWorkload>& workloads,
+                 const std::vector<std::uint32_t>& schedule) {
   util::set_current_thread_name("slap-send", static_cast<std::size_t>(index));
   std::vector<std::uint8_t> bytes;
   for (std::uint64_t i = static_cast<std::uint64_t>(index); i < total;
@@ -56,17 +100,22 @@ void writer_loop(Conn& conn, int index, int stride, std::uint64_t total,
     if (conn.dead.load(std::memory_order_relaxed)) break;
 
     const auto id = static_cast<std::uint32_t>(i);  // globally unique per run
+    const std::uint32_t w = schedule[i];
+    const SlapWorkload& load = workloads[w];
     bytes.clear();
-    encode_solve_request(bytes, id, requests[static_cast<std::size_t>(
-                                       i % requests.size())]);
+    encode_solve_request(bytes, id,
+                         load.requests[static_cast<std::size_t>(
+                             i % load.requests.size())],
+                         load.tenant);
     {
       // Counted as offered at the send *attempt*, not after a successful
       // write: a failed send then books as an error against an offered
       // request, so `offered == responses + shed + errors + dropped` holds
-      // by construction on every exit path.
+      // by construction on every exit path — per tenant, since both sides
+      // book against the same workload index.
       std::lock_guard lk(conn.mu);
-      conn.in_flight.emplace(id, Clock::now());
-      ++conn.offered;
+      conn.in_flight.emplace(id, InFlight{Clock::now(), w});
+      ++conn.tenants[w].offered;
     }
     if (!util::write_all(conn.sock, bytes.data(), bytes.size())) {
       // The frame never fully reached the server (write_all only fails with
@@ -74,7 +123,7 @@ void writer_loop(Conn& conn, int index, int stride, std::uint64_t total,
       // in-flight entry and booking the error cannot double-count.
       std::lock_guard lk(conn.mu);
       conn.in_flight.erase(id);
-      ++conn.errors;
+      ++conn.tenants[w].errors;
       conn.dead.store(true, std::memory_order_relaxed);
       break;
     }
@@ -123,19 +172,23 @@ void reader_loop(Conn& conn, int index, std::size_t max_payload,
     std::lock_guard lk(conn.mu);
     auto it = conn.in_flight.find(f.request_id);
     if (it == conn.in_flight.end()) continue;  // duplicate/unknown id: ignore
-    const auto sent = it->second;
+    const InFlight sent = it->second;
     conn.in_flight.erase(it);
     conn.last_reply = now;
+    TenantLocal& tl = conn.tenants[sent.workload];
     switch (f.type) {
-      case FrameType::kSolveResponse:
-        ++conn.responses;
-        conn.latency.record(std::chrono::duration<double>(now - sent).count());
+      case FrameType::kSolveResponse: {
+        ++tl.responses;
+        const double s = std::chrono::duration<double>(now - sent.sent).count();
+        tl.latency.record(s);
+        conn.latency.record(s);
         break;
+      }
       case FrameType::kShed:
-        ++conn.shed;
+        ++tl.shed;
         break;
       default:
-        ++conn.errors;
+        ++tl.errors;
         break;
     }
   }
@@ -143,13 +196,17 @@ void reader_loop(Conn& conn, int index, std::size_t max_payload,
 
 }  // namespace
 
-SlapStats run_slap(const SlapConfig& cfg, const std::vector<te::TrafficMatrix>& requests) {
+SlapStats run_slap(const SlapConfig& cfg, const std::vector<SlapWorkload>& workloads) {
   SlapStats out;
-  if (requests.empty() || cfg.connections <= 0 || cfg.target_rps <= 0.0) return out;
+  if (workloads.empty() || cfg.connections <= 0 || cfg.target_rps <= 0.0) return out;
+  for (const auto& w : workloads) {
+    if (w.requests.empty()) return out;
+  }
   const std::size_t max_payload =
       cfg.max_payload > 0 ? cfg.max_payload : kDefaultMaxPayload;
   const auto total = static_cast<std::uint64_t>(cfg.target_rps * cfg.duration_seconds);
   if (total == 0) return out;
+  const std::vector<std::uint32_t> schedule = build_schedule(workloads, total);
 
   std::vector<std::unique_ptr<Conn>> conns;
   conns.reserve(static_cast<std::size_t>(cfg.connections));
@@ -158,6 +215,7 @@ SlapStats run_slap(const SlapConfig& cfg, const std::vector<te::TrafficMatrix>& 
     conn->sock = util::connect_tcp(cfg.host, cfg.port);
     // Reader wake-up granularity: bounds how stale the end-of-run check gets.
     util::set_recv_timeout(conn->sock, 0.05);
+    conn->tenants.resize(workloads.size());
     conns.push_back(std::move(conn));
   }
 
@@ -170,7 +228,7 @@ SlapStats run_slap(const SlapConfig& cfg, const std::vector<te::TrafficMatrix>& 
                          max_payload, &grace_deadline, std::cref(sending_finished));
     writers.emplace_back(writer_loop, std::ref(*conns[static_cast<std::size_t>(c)]), c,
                          cfg.connections, total, cfg.target_rps, start,
-                         std::cref(requests));
+                         std::cref(workloads), std::cref(schedule));
   }
   for (auto& t : writers) t.join();
   grace_deadline = Clock::now() + std::chrono::duration_cast<Clock::duration>(
@@ -179,18 +237,36 @@ SlapStats run_slap(const SlapConfig& cfg, const std::vector<te::TrafficMatrix>& 
   sending_finished.store(true, std::memory_order_release);
   for (auto& t : readers) t.join();
 
+  out.tenants.resize(workloads.size());
+  for (std::size_t w = 0; w < workloads.size(); ++w) {
+    out.tenants[w].tenant = workloads[w].tenant;
+  }
   Clock::time_point last_activity = start;
   Clock::time_point send_end = start;
   for (auto& conn : conns) {
     std::lock_guard lk(conn->mu);
-    out.offered += conn->offered;
-    out.responses += conn->responses;
-    out.shed += conn->shed;
-    out.errors += conn->errors;
-    out.dropped += conn->in_flight.size();
+    for (std::size_t w = 0; w < workloads.size(); ++w) {
+      SlapTenantStats& ts = out.tenants[w];
+      const TenantLocal& tl = conn->tenants[w];
+      ts.offered += tl.offered;
+      ts.responses += tl.responses;
+      ts.shed += tl.shed;
+      ts.errors += tl.errors;
+      ts.latency.merge(tl.latency);
+    }
+    // Requests still in flight after the grace are dropped — booked against
+    // their own tenant, which keeps the per-tenant ledger balanced too.
+    for (const auto& [id, fl] : conn->in_flight) ++out.tenants[fl.workload].dropped;
     out.latency.merge(conn->latency);
     if (conn->last_reply > last_activity) last_activity = conn->last_reply;
     if (conn->writer_end > send_end) send_end = conn->writer_end;
+  }
+  for (const SlapTenantStats& ts : out.tenants) {
+    out.offered += ts.offered;
+    out.responses += ts.responses;
+    out.shed += ts.shed;
+    out.errors += ts.errors;
+    out.dropped += ts.dropped;
   }
   out.wall_seconds = std::chrono::duration<double>(
                          (last_activity > send_end ? last_activity : send_end) - start)
@@ -199,6 +275,12 @@ SlapStats run_slap(const SlapConfig& cfg, const std::vector<te::TrafficMatrix>& 
   out.achieved_rps = send_window > 0.0 ? static_cast<double>(out.offered) / send_window
                                        : 0.0;
   return out;
+}
+
+SlapStats run_slap(const SlapConfig& cfg, const std::vector<te::TrafficMatrix>& requests) {
+  std::vector<SlapWorkload> workloads(1);
+  workloads[0].requests = requests;
+  return run_slap(cfg, workloads);
 }
 
 }  // namespace teal::net

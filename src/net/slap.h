@@ -9,11 +9,18 @@
 // connections; each connection runs a paced writer thread and a reader
 // thread that matches responses to send timestamps by request id.
 //
+// Multi-tenant: the offered schedule is split across workloads (one per
+// fleet tenant) by weight — a deterministic smooth weighted round-robin, so
+// the same config always offers the same per-tenant sequence — and every
+// counter is kept per tenant as well as in aggregate. The per-tenant ledger
+// obeys the same invariant as the total:
+// offered == responses + shed + errors + dropped, per tenant, by
+// construction on every exit path.
+//
 // What comes back is the serving story end to end: response latency
 // percentiles (send → response, i.e. including queue wait and the wire),
 // achieved throughput, and the server's explicit shed frames counted
-// separately from errors — offered == responses + shed + errors + dropped
-// holds by construction. bench/net_serving.cpp sweeps the offered rate
+// separately from errors. bench/net_serving.cpp sweeps the offered rate
 // through this harness into the EXPERIMENTS.md "Latency under load" ledger;
 // tools/teal_slap.cpp is the standalone CLI.
 #pragma once
@@ -31,12 +38,32 @@ struct SlapConfig {
   std::string host = "127.0.0.1";
   std::uint16_t port = 0;
   int connections = 4;
-  double target_rps = 200.0;       // aggregate offered rate over all connections
+  double target_rps = 200.0;       // aggregate offered rate over all tenants
   double duration_seconds = 2.0;   // sending window; offered ≈ rate × duration
   // How long readers linger for stragglers after the last send; replies
   // still missing then are counted as dropped.
   double drain_grace_seconds = 2.0;
   std::size_t max_payload = 0;     // 0 = wire.h default
+};
+
+// One tenant's slice of the offered load. `requests` is cycled within the
+// tenant's own schedule slots; `weight` is its share of the aggregate rate
+// (weights are relative, not percentages).
+struct SlapWorkload {
+  std::string tenant;  // "" = the server's default tenant
+  std::vector<te::TrafficMatrix> requests;
+  double weight = 1.0;
+};
+
+// Per-tenant ledger: same fields and invariant as the aggregate.
+struct SlapTenantStats {
+  std::string tenant;
+  std::uint64_t offered = 0;
+  std::uint64_t responses = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t dropped = 0;
+  util::LatencyHistogram latency;
 };
 
 struct SlapStats {
@@ -49,6 +76,8 @@ struct SlapStats {
   double achieved_rps = 0.0;    // offered / sending-window wall time
   util::LatencyHistogram latency;  // send → response, responses only
 
+  std::vector<SlapTenantStats> tenants;  // workload order; sums to the above
+
   double response_rate() const {
     return wall_seconds > 0.0 ? static_cast<double>(responses) / wall_seconds : 0.0;
   }
@@ -58,9 +87,14 @@ struct SlapStats {
   }
 };
 
-// Fires cfg.target_rps × cfg.duration_seconds requests at host:port, cycling
-// through `requests` (must be non-empty; every matrix must match the served
-// problem's demand count). Blocks until the run and its drain grace finish.
+// Fires cfg.target_rps × cfg.duration_seconds requests at host:port, the
+// schedule split across `workloads` by weight (each must have non-empty
+// requests matching its tenant's demand count). Blocks until the run and its
+// drain grace finish.
+SlapStats run_slap(const SlapConfig& cfg, const std::vector<SlapWorkload>& workloads);
+
+// Single-tenant convenience (the PR 7 shape): one anonymous workload against
+// the server's default tenant.
 SlapStats run_slap(const SlapConfig& cfg, const std::vector<te::TrafficMatrix>& requests);
 
 }  // namespace teal::net

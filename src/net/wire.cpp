@@ -65,9 +65,12 @@ void encode_pong(std::vector<std::uint8_t>& out, std::uint32_t request_id) {
 }
 
 void encode_solve_request(std::vector<std::uint8_t>& out, std::uint32_t request_id,
-                          const te::TrafficMatrix& tm) {
+                          const te::TrafficMatrix& tm, const std::string& tenant) {
+  const auto tlen = static_cast<std::uint32_t>(tenant.size());
   const auto n = static_cast<std::uint32_t>(tm.volume.size());
-  put_header(out, FrameType::kSolveRequest, request_id, 4 + 8 * n);
+  put_header(out, FrameType::kSolveRequest, request_id, 4 + tlen + 4 + 8 * n);
+  put_u32(out, tlen);
+  out.insert(out.end(), tenant.begin(), tenant.end());
   put_u32(out, n);
   for (double v : tm.volume) put_f64(out, v);
 }
@@ -96,12 +99,21 @@ void encode_error(std::vector<std::uint8_t>& out, std::uint32_t request_id,
   out.insert(out.end(), message.begin(), message.end());
 }
 
-bool parse_solve_request(const std::vector<std::uint8_t>& payload, te::TrafficMatrix& tm) {
+bool parse_solve_request(const std::vector<std::uint8_t>& payload, te::TrafficMatrix& tm,
+                         std::string& tenant) {
   if (payload.size() < 4) return false;
-  const std::uint32_t n = get_u32(payload.data());
-  if (payload.size() != 4 + std::size_t{8} * n) return false;
+  const std::uint32_t tlen = get_u32(payload.data());
+  // Bound-check the tenant length against the payload before touching the
+  // demand count that follows it (a garbage tlen must not read out of range).
+  if (payload.size() < 4 + std::size_t{tlen} + 4) return false;
+  const std::size_t noff = 4 + std::size_t{tlen};
+  const std::uint32_t n = get_u32(payload.data() + noff);
+  if (payload.size() != noff + 4 + std::size_t{8} * n) return false;
+  tenant.assign(reinterpret_cast<const char*>(payload.data() + 4), tlen);
   tm.volume.resize(n);
-  for (std::uint32_t i = 0; i < n; ++i) tm.volume[i] = get_f64(payload.data() + 4 + 8 * i);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    tm.volume[i] = get_f64(payload.data() + noff + 4 + 8 * i);
+  }
   return true;
 }
 

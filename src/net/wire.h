@@ -17,12 +17,20 @@
 //   8       4     payload length in bytes
 //   12      n     payload
 //
-// Payloads:
+// Payloads (wire version 2):
 //   kPing / kPong          empty
-//   kSolveRequest          u32 n_demands, then n_demands f64 volumes
+//   kSolveRequest          u32 tenant length, tenant bytes (UTF-8; empty =
+//                          the server's default tenant), u32 n_demands, then
+//                          n_demands f64 volumes
 //   kSolveResponse         f64 solve_seconds, u32 n_splits, then n_splits f64
 //   kShed                  u32 ShedReason
 //   kError                 u32 ErrorCode, u32 text length, then text bytes
+//
+// Version history: v1 (PR 7) had no tenant field in kSolveRequest. The
+// version byte sits in the header, so a v1 peer talking to a v2 peer (either
+// direction) is rejected from the first header with "unsupported version" —
+// backward-compat by explicit refusal, never by silently misparsing the
+// tenant length as a demand count.
 //
 // f64 values travel as the IEEE-754 bit pattern (bit_cast through u64), so a
 // served allocation is byte-identical to the solver's output — the loopback
@@ -45,7 +53,7 @@
 namespace teal::net {
 
 inline constexpr std::uint16_t kWireMagic = 0x4C54;  // "TL"
-inline constexpr std::uint8_t kWireVersion = 1;
+inline constexpr std::uint8_t kWireVersion = 2;  // v2: tenant id in solve requests
 inline constexpr std::size_t kHeaderSize = 12;
 // Default payload bound: an ASN-scale allocation is ~1 MB; 16 MiB leaves an
 // order of magnitude of headroom while still rejecting a garbage length
@@ -75,6 +83,9 @@ enum class ErrorCode : std::uint32_t {
   kBadDemandCount = 2,  // well-formed request, wrong demand count for the
                         // served problem; connection stays usable
   kUnsupportedType = 3, // valid header, but a type this peer never handles
+  kUnknownTenant = 4,   // no such tenant in the fleet; connection stays usable
+  kInternal = 5,        // server-side failure (e.g. every replica died before
+                        // the request could be solved); connection stays usable
 };
 
 struct Frame {
@@ -87,8 +98,9 @@ struct Frame {
 
 void encode_ping(std::vector<std::uint8_t>& out, std::uint32_t request_id);
 void encode_pong(std::vector<std::uint8_t>& out, std::uint32_t request_id);
+// `tenant` selects the fleet tenant ("" = the server's default tenant).
 void encode_solve_request(std::vector<std::uint8_t>& out, std::uint32_t request_id,
-                          const te::TrafficMatrix& tm);
+                          const te::TrafficMatrix& tm, const std::string& tenant = "");
 void encode_solve_response(std::vector<std::uint8_t>& out, std::uint32_t request_id,
                            const te::Allocation& alloc, double solve_seconds);
 void encode_shed(std::vector<std::uint8_t>& out, std::uint32_t request_id,
@@ -101,7 +113,8 @@ void encode_error(std::vector<std::uint8_t>& out, std::uint32_t request_id,
 // (declared counts consistent with the byte length — no trailing junk, no
 // reading past the end). Outputs are only valid on true.
 
-bool parse_solve_request(const std::vector<std::uint8_t>& payload, te::TrafficMatrix& tm);
+bool parse_solve_request(const std::vector<std::uint8_t>& payload, te::TrafficMatrix& tm,
+                         std::string& tenant);
 bool parse_solve_response(const std::vector<std::uint8_t>& payload, te::Allocation& alloc,
                           double& solve_seconds);
 bool parse_shed(const std::vector<std::uint8_t>& payload, ShedReason& reason);

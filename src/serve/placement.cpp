@@ -1,0 +1,107 @@
+#include "serve/placement.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace teal::serve {
+
+namespace {
+
+// Per-solve cost in the shard cost model's unit: paths iterated per solve.
+// Falls back to demands (then 1) so degenerate descriptors still weigh
+// something instead of starving the tenant.
+double solve_cost(const TenantDemand& t) {
+  if (t.total_paths > 0) return static_cast<double>(t.total_paths);
+  if (t.n_demands > 0) return static_cast<double>(t.n_demands);
+  return 1.0;
+}
+
+}  // namespace
+
+std::vector<std::size_t> StaticPolicy::assign(const std::vector<TenantDemand>& tenants,
+                                              std::size_t /*total*/) const {
+  std::vector<std::size_t> out(tenants.size());
+  for (std::size_t i = 0; i < tenants.size(); ++i) {
+    out[i] = std::max<std::size_t>(1, tenants[i].requested_replicas);
+  }
+  return out;
+}
+
+std::vector<std::size_t> RoundRobinPolicy::assign(const std::vector<TenantDemand>& tenants,
+                                                  std::size_t total) const {
+  if (tenants.empty()) return {};
+  const std::size_t budget = std::max(total, tenants.size());
+  std::vector<std::size_t> out(tenants.size(), 0);
+  for (std::size_t dealt = 0; dealt < budget; ++dealt) {
+    ++out[dealt % tenants.size()];
+  }
+  return out;
+}
+
+std::vector<std::size_t> LoadProportionalPolicy::assign(
+    const std::vector<TenantDemand>& tenants, std::size_t total) const {
+  if (tenants.empty()) return {};
+  const std::size_t budget = std::max(total, tenants.size());
+  const std::size_t n = tenants.size();
+  std::vector<double> weight(n);
+  double wsum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double w = std::max(0.0, tenants[i].offered_weight) * solve_cost(tenants[i]);
+    weight[i] = w;
+    wsum += w;
+  }
+  if (wsum <= 0.0) {
+    // All-zero weights degrade to round-robin over the whole budget.
+    std::vector<std::size_t> out(n, 0);
+    for (std::size_t dealt = 0; dealt < budget; ++dealt) ++out[dealt % n];
+    return out;
+  }
+  // Largest-remainder apportionment of the full budget: shares are
+  // real-valued ideals; integer floors first, then the leftover replicas go
+  // to the largest fractional remainders (ties to the lower index, so the
+  // result is deterministic in registration order). Apportioning the whole
+  // budget — rather than one-each plus a proportional spare — keeps the
+  // counts proportional to cost: a tenant with twice the weighted paths gets
+  // (about) twice the replicas, which a flat head-start would flatten out.
+  std::vector<std::size_t> out(n, 0);
+  std::vector<double> frac(n);
+  std::size_t given = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double ideal = static_cast<double>(budget) * weight[i] / wsum;
+    const auto whole = static_cast<std::size_t>(ideal);
+    out[i] = whole;
+    given += whole;
+    frac[i] = ideal - static_cast<double>(whole);
+  }
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) { return frac[a] > frac[b]; });
+  for (std::size_t k = 0; given < budget; ++k, ++given) {
+    ++out[order[k % n]];
+  }
+  // Never-starve floor: a zero-count tenant takes a replica from the largest
+  // holder (budget >= n guarantees a donor with >= 2 exists while any tenant
+  // still sits at zero).
+  for (std::size_t i = 0; i < n; ++i) {
+    while (out[i] == 0) {
+      const std::size_t donor = static_cast<std::size_t>(
+          std::max_element(out.begin(), out.end()) - out.begin());
+      if (out[donor] <= 1) break;  // unreachable given budget >= n
+      --out[donor];
+      ++out[i];
+    }
+  }
+  return out;
+}
+
+PlacementPolicyPtr make_placement_policy(const std::string& name) {
+  if (name == "static") return std::make_unique<StaticPolicy>();
+  if (name == "round-robin") return std::make_unique<RoundRobinPolicy>();
+  if (name == "load-proportional") return std::make_unique<LoadProportionalPolicy>();
+  throw std::invalid_argument("unknown placement policy '" + name +
+                              "' (valid: static, round-robin, load-proportional)");
+}
+
+}  // namespace teal::serve

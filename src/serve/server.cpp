@@ -20,6 +20,7 @@ Server::Server(const te::Problem& pb, std::vector<ReplicaPtr> replicas, ServeCon
         "serve::Server: at least one replica required (accepted requests "
         "could otherwise never complete and drain() would block forever)");
   }
+  live_replicas_.store(replicas_.size(), std::memory_order_relaxed);
   threads_.reserve(replicas_.size());
   for (std::size_t i = 0; i < replicas_.size(); ++i) {
     threads_.emplace_back([this, i] { replica_loop(i); });
@@ -95,7 +96,14 @@ void Server::replica_loop(std::size_t index) {
     const auto dequeued = Clock::now();
     self.queue_wait.record(std::chrono::duration<double>(dequeued - req.enqueued).count());
     double solve_s = 0.0;
-    replicas_[index]->solve(pb_, *req.tm, *req.out, &solve_s);
+    try {
+      replicas_[index]->solve(pb_, *req.tm, *req.out, &solve_s);
+    } catch (...) {
+      // This replica is dead (whatever state its solver left behind is
+      // suspect), but the *request* is not: hand it to the survivors.
+      handle_replica_death(std::move(req));
+      return;  // thread exits; stop() still joins it normally
+    }
     self.solve.record(solve_s);
     self.busy_seconds += solve_s;
     ++self.solved;
@@ -117,6 +125,47 @@ void Server::replica_loop(std::size_t index) {
     }
     done_cv_.notify_all();
   }
+}
+
+void Server::fail_request(Request& req) {
+  failed_.fetch_add(1, std::memory_order_relaxed);
+  // -1 is the error sentinel: real solves report nonnegative seconds, so the
+  // done-hook (the net session's response seam) can distinguish "no replica
+  // could run this" and answer with an error frame instead of a result.
+  if (req.done) req.done(-1.0);
+  {
+    std::lock_guard lk(done_mu_);
+    ++completed_;
+  }
+  done_cv_.notify_all();
+}
+
+void Server::handle_replica_death(Request req) {
+  replica_deaths_.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t live = live_replicas_.fetch_sub(1, std::memory_order_acq_rel) - 1;
+  if (live > 0) {
+    // Survivors exist: requeue the victim's request. The queue may be
+    // momentarily full — survivors are draining it, so spin-push; a close()
+    // (server stopping, or the last survivor dying meanwhile) breaks the
+    // spin and the request is failed instead of lost in limbo.
+    for (;;) {
+      if (queue_.try_push(req)) {
+        requeued_.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      if (queue_.closed()) break;
+      std::this_thread::yield();
+    }
+    fail_request(req);
+    return;
+  }
+  // Last replica standing just died: nobody is left to solve anything.
+  // Close the queue (new submits shed as kShedStopping), then retire the
+  // in-flight request and the whole backlog as failed so drain()/stop()
+  // terminate instead of waiting on solves that can never happen.
+  queue_.close();
+  fail_request(req);
+  while (queue_.pop(req)) fail_request(req);
 }
 
 void Server::drain() {
@@ -157,6 +206,9 @@ ServeStats Server::stop() {
     }
     std::this_thread::yield();
   }
+  s.replica_deaths = replica_deaths_.load(std::memory_order_relaxed);
+  s.requeued = requeued_.load(std::memory_order_relaxed);
+  s.failed = failed_.load(std::memory_order_relaxed);
   Clock::time_point first{};
   {
     std::lock_guard lk(done_mu_);

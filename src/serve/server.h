@@ -78,8 +78,20 @@ struct ServeStats {
   std::uint64_t offered = 0;    // submit() calls
   std::uint64_t accepted = 0;   // entered the queue
   std::uint64_t shed = 0;       // rejected by admission or queue bound
-  std::uint64_t completed = 0;  // solved by a replica
+  std::uint64_t completed = 0;  // retired: solved, or failed (see below)
   double wall_seconds = 0.0;    // first submit → stop()
+
+  // Failover ledger. A replica whose solve throws is dead (its thread exits);
+  // its in-flight request is requeued for the surviving replicas rather than
+  // lost. Only when *no* replica survives (or the server is stopping) is a
+  // request failed: its done-hook runs with solve_seconds = -1 so the caller
+  // can surface an error instead of waiting forever. failed requests count
+  // toward `completed` — drain() means every request was retired, not that
+  // every request succeeded. Invariant: accepted == completed after stop(),
+  // and completed == Σ replicas[i].solved + failed.
+  std::uint64_t replica_deaths = 0;
+  std::uint64_t requeued = 0;
+  std::uint64_t failed = 0;
 
   std::vector<ReplicaStats> replicas;
   util::LatencyHistogram queue_wait;  // enqueue → dequeue
@@ -162,6 +174,12 @@ class Server {
   };
 
   void replica_loop(std::size_t index);
+  // Failover path: called by a replica thread whose solve threw, with the
+  // victim request. Requeues it for the survivors, or fails it (and every
+  // queued request) when this was the last replica standing.
+  void handle_replica_death(Request req);
+  // Retires a request without a solve: done(-1), counts toward completed_.
+  void fail_request(Request& req);
   double solve_estimate() const;
 
   const te::Problem& pb_;
@@ -180,6 +198,13 @@ class Server {
   std::atomic<std::uint64_t> accepted_{0};
   std::atomic<std::uint64_t> shed_{0};
   std::atomic<double> solve_ewma_{0.0};
+
+  // Failover state: live_replicas_ counts replica threads still in their
+  // loop; the thread that decrements it to zero owns failing the backlog.
+  std::atomic<std::size_t> live_replicas_{0};
+  std::atomic<std::uint64_t> replica_deaths_{0};
+  std::atomic<std::uint64_t> requeued_{0};
+  std::atomic<std::uint64_t> failed_{0};
 
   mutable std::mutex done_mu_;
   std::condition_variable done_cv_;

@@ -13,7 +13,9 @@
 #pragma once
 
 #include <optional>
+#include <string>
 
+#include "serve/fleet.h"
 #include "serve/replica.h"
 #include "serve/server.h"
 #include "te/problem.h"
@@ -59,5 +61,56 @@ ServedResult run_served(const te::Problem& pb, const traffic::Trace& trace,
 ServedResult run_served(te::Scheme& scheme, const te::Problem& pb,
                         const traffic::Trace& trace, const ServedConfig& cfg,
                         const serve::SchemeFactory& factory = nullptr);
+
+// ---- Fleet replay -----------------------------------------------------------
+//
+// Multi-tenant counterpart of run_served: several (problem, trace, scheme)
+// slices replayed through one serve::Fleet, replicas split across tenants by
+// the fleet's placement policy. Arrivals from all tenants are merged onto one
+// open-loop schedule, round-robin across tenants that still have trace left —
+// the simulated analogue of teal_slap's weighted multi-tenant mix, minus the
+// wire.
+
+// One tenant's slice of the replay. `pb`, `trace` and `scheme` must outlive
+// the call; `factory` follows the serve::make_replicas contract for non-warm
+// schemes.
+struct ServedTenant {
+  std::string name;
+  const te::Problem* pb = nullptr;
+  const traffic::Trace* trace = nullptr;
+  te::Scheme* scheme = nullptr;
+  serve::SchemeFactory factory;
+  double offered_weight = 1.0;         // placement demand signal
+  std::size_t requested_replicas = 0;  // static-policy count
+};
+
+struct ServedFleetConfig {
+  // Replica budget + placement policy by name (FleetConfig isn't copyable —
+  // it can own a policy object — so the replay config carries the two plain
+  // knobs; plug a custom policy through serve::Fleet directly).
+  std::size_t total_replicas = 0;  // 0 = hardware concurrency
+  std::string policy = "load-proportional";
+  // Open-loop spacing between merged arrivals (across all tenants).
+  // 0 = burst.
+  double arrival_interval_seconds = 0.0;
+  int shard_count = 0;       // per-replica inner shards (see ServedConfig)
+  serve::ServeConfig serve;  // applied to every tenant's server
+};
+
+struct ServedFleetResult {
+  // Index-aligned with the corresponding tenant's trace, same contract as
+  // ServedResult (shed requests leave an empty Allocation, accepted == 0).
+  struct Tenant {
+    std::vector<te::Allocation> allocs;
+    std::vector<char> accepted;
+  };
+  std::vector<Tenant> tenants;  // registration order
+  serve::FleetStats stats;
+};
+
+// Replays every tenant's trace through one Fleet. Blocks until every accepted
+// request on every tenant completed.
+ServedFleetResult run_served_fleet(const std::vector<ServedTenant>& tenants,
+                                   const ServedFleetConfig& cfg);
 
 }  // namespace teal::sim

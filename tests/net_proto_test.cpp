@@ -59,12 +59,27 @@ TEST(NetProto, SolveRequestRoundTripIsByteExact) {
   Frame f = decode_one(bytes);
   EXPECT_EQ(f.type, FrameType::kSolveRequest);
   te::TrafficMatrix back;
-  ASSERT_TRUE(net::parse_solve_request(f.payload, back));
+  std::string tenant;
+  ASSERT_TRUE(net::parse_solve_request(f.payload, back, tenant));
+  EXPECT_TRUE(tenant.empty());
   ASSERT_EQ(back.volume.size(), tm.volume.size());
   EXPECT_EQ(std::memcmp(back.volume.data(), tm.volume.data(),
                         tm.volume.size() * sizeof(double)),
             0)
       << "f64 payloads must survive the wire bit-for-bit";
+}
+
+TEST(NetProto, SolveRequestTenantRoundTrips) {
+  te::TrafficMatrix tm;
+  tm.volume = {1.0, 2.0, 3.0};
+  std::vector<std::uint8_t> bytes;
+  net::encode_solve_request(bytes, 8, tm, "wan-eu");
+  Frame f = decode_one(bytes);
+  te::TrafficMatrix back;
+  std::string tenant = "stale";  // parser must overwrite, not append
+  ASSERT_TRUE(net::parse_solve_request(f.payload, back, tenant));
+  EXPECT_EQ(tenant, "wan-eu");
+  EXPECT_EQ(back.volume, tm.volume);
 }
 
 TEST(NetProto, SolveResponseRoundTripIsByteExact) {
@@ -116,7 +131,7 @@ TEST(NetProto, GoldenPingFrame) {
   net::encode_ping(bytes, 0x01020304u);
   const std::vector<std::uint8_t> golden = {
       0x54, 0x4C,              // magic "TL" little-endian
-      0x01,                    // version
+      0x02,                    // version (v2: tenant id in solve requests)
       0x01,                    // type: ping
       0x04, 0x03, 0x02, 0x01,  // request id 0x01020304 LE
       0x00, 0x00, 0x00, 0x00,  // payload length 0
@@ -128,11 +143,13 @@ TEST(NetProto, GoldenSolveRequestFrame) {
   te::TrafficMatrix tm;
   tm.volume = {1.0, 2.5};
   std::vector<std::uint8_t> bytes;
-  net::encode_solve_request(bytes, 7, tm);
+  net::encode_solve_request(bytes, 7, tm, "eu");
   const std::vector<std::uint8_t> golden = {
-      0x54, 0x4C, 0x01, 0x03,                          // magic, v1, solve_request
+      0x54, 0x4C, 0x02, 0x03,                          // magic, v2, solve_request
       0x07, 0x00, 0x00, 0x00,                          // request id 7
-      0x14, 0x00, 0x00, 0x00,                          // payload length 20
+      0x1A, 0x00, 0x00, 0x00,                          // payload length 26
+      0x02, 0x00, 0x00, 0x00,                          // tenant length 2
+      0x65, 0x75,                                      // "eu"
       0x02, 0x00, 0x00, 0x00,                          // n_demands 2
       0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xF0, 0x3F,  // 1.0 (IEEE-754 LE)
       0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x04, 0x40,  // 2.5
@@ -144,10 +161,25 @@ TEST(NetProto, GoldenShedFrame) {
   std::vector<std::uint8_t> bytes;
   net::encode_shed(bytes, 1, ShedReason::kQueueFull);
   const std::vector<std::uint8_t> golden = {
-      0x54, 0x4C, 0x01, 0x05, 0x01, 0x00, 0x00, 0x00,
+      0x54, 0x4C, 0x02, 0x05, 0x01, 0x00, 0x00, 0x00,
       0x04, 0x00, 0x00, 0x00, 0x02, 0x00, 0x00, 0x00,
   };
   EXPECT_EQ(bytes, golden);
+}
+
+// Backward compat is explicit refusal: a v1 peer (PR 7, no tenant field) is
+// rejected from the first header byte that differs — never misparsed, where
+// its demand count would be read as a tenant length.
+TEST(NetProto, V1FramesAreRejectedByVersion) {
+  std::vector<std::uint8_t> bytes;
+  net::encode_ping(bytes, 1);
+  bytes[2] = 1;  // rewrite the version byte to v1
+  FrameDecoder d;
+  d.feed(bytes.data(), bytes.size());
+  Frame f;
+  EXPECT_EQ(d.next(f), DecodeStatus::kMalformed);
+  EXPECT_TRUE(d.poisoned());
+  EXPECT_NE(d.error().find("unsupported version 1"), std::string::npos);
 }
 
 // --- reassembly ------------------------------------------------------------
@@ -185,7 +217,8 @@ TEST(NetProto, ReassemblesFramesSplitAcrossReads) {
     EXPECT_EQ(frames[i].request_id, i + 1);
   }
   te::TrafficMatrix tm_back;
-  ASSERT_TRUE(net::parse_solve_request(frames[1].payload, tm_back));
+  std::string tenant_back;
+  ASSERT_TRUE(net::parse_solve_request(frames[1].payload, tm_back, tenant_back));
   EXPECT_EQ(tm_back.volume, tm.volume);
   EXPECT_EQ(d.buffered(), 0u);
 }
@@ -274,10 +307,10 @@ TEST(NetProto, OversizedLengthRejectedFromHeaderAlone) {
 
 TEST(NetProto, PayloadAtLimitIsAccepted) {
   te::TrafficMatrix tm;
-  tm.volume = {1.0};  // payload = 4 + 8 = 12 bytes
+  tm.volume = {1.0};  // payload = 4 (tenant len) + 4 (count) + 8 = 16 bytes
   std::vector<std::uint8_t> bytes;
   net::encode_solve_request(bytes, 1, tm);
-  FrameDecoder d(/*max_payload=*/12);
+  FrameDecoder d(/*max_payload=*/16);
   d.feed(bytes.data(), bytes.size());
   Frame f;
   EXPECT_EQ(d.next(f), DecodeStatus::kFrame);
@@ -289,23 +322,40 @@ TEST(NetProto, SolveRequestCountMismatchFailsParse) {
   std::vector<std::uint8_t> bytes;
   net::encode_solve_request(bytes, 1, tm);
   Frame f = decode_one(bytes);
-  // Declare 3 demands but carry 2: the parser must reject instead of
-  // reading 8 bytes past the payload.
-  f.payload[0] = 3;
+  // Payload layout with an empty tenant: [0..3] tenant length, [4..7]
+  // n_demands. Declare 3 demands but carry 2: the parser must reject
+  // instead of reading 8 bytes past the payload.
+  f.payload[4] = 3;
   te::TrafficMatrix back;
-  EXPECT_FALSE(net::parse_solve_request(f.payload, back));
+  std::string tenant;
+  EXPECT_FALSE(net::parse_solve_request(f.payload, back, tenant));
   // Declare 1 but carry 2 (trailing junk) — also rejected.
-  f.payload[0] = 1;
-  EXPECT_FALSE(net::parse_solve_request(f.payload, back));
-  f.payload[0] = 2;
-  EXPECT_TRUE(net::parse_solve_request(f.payload, back));
+  f.payload[4] = 1;
+  EXPECT_FALSE(net::parse_solve_request(f.payload, back, tenant));
+  f.payload[4] = 2;
+  EXPECT_TRUE(net::parse_solve_request(f.payload, back, tenant));
+}
+
+TEST(NetProto, SolveRequestTenantLengthOverrunFailsParse) {
+  te::TrafficMatrix tm;
+  tm.volume = {1.0};
+  std::vector<std::uint8_t> bytes;
+  net::encode_solve_request(bytes, 1, tm, "ab");
+  Frame f = decode_one(bytes);
+  // Inflate the declared tenant length past the payload end: the parser
+  // must bound-check it before reading the demand count that follows.
+  f.payload[0] = 200;
+  te::TrafficMatrix back;
+  std::string tenant;
+  EXPECT_FALSE(net::parse_solve_request(f.payload, back, tenant));
 }
 
 TEST(NetProto, TruncatedPayloadsFailEveryParser) {
   te::TrafficMatrix tm_empty;  // short payloads: 4 bytes of count only
   std::vector<std::uint8_t> tiny = {0x01};
   te::TrafficMatrix tm;
-  EXPECT_FALSE(net::parse_solve_request(tiny, tm));
+  std::string tenant;
+  EXPECT_FALSE(net::parse_solve_request(tiny, tm, tenant));
   te::Allocation alloc;
   double s;
   EXPECT_FALSE(net::parse_solve_response(tiny, alloc, s));
@@ -330,7 +380,8 @@ TEST(NetProto, EmptySolveRequestRoundTrips) {
   Frame f = decode_one(bytes);
   te::TrafficMatrix back;
   back.volume = {1.0, 2.0};  // parser must shrink it
-  ASSERT_TRUE(net::parse_solve_request(f.payload, back));
+  std::string tenant;
+  ASSERT_TRUE(net::parse_solve_request(f.payload, back, tenant));
   EXPECT_TRUE(back.volume.empty());
 }
 

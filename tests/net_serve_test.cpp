@@ -231,8 +231,9 @@ TEST(NetServe, NoFramesAreAnsweredAfterAMalformedSolvePayload) {
 
   auto sock = util::connect_tcp("127.0.0.1", fx.server.port());
   // Hand-built frame: valid header declaring a 4-byte solve-request payload
-  // whose contents claim 5 demands but carry none — parse_solve_request must
-  // reject it. A valid ping rides in the same write right behind it.
+  // whose contents claim a 5-byte tenant name but carry nothing after the
+  // length — parse_solve_request must reject it. A valid ping rides in the
+  // same write right behind it.
   std::vector<std::uint8_t> bytes;
   auto put_u32 = [&bytes](std::uint32_t v) {
     for (int i = 0; i < 4; ++i) bytes.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
@@ -288,14 +289,15 @@ TEST(NetServe, OutboxOverflowHardClosesWithoutWaitingForDrain) {
   util::Socket peer(fds[1]);
   // Tiny cap, and no flush() calls below: the outbox can only grow, exactly
   // like a non-reading peer behind full kernel buffers.
-  net::Session session(1, std::move(server_end), s.pb, net::kDefaultMaxPayload,
+  net::Session session(1, std::move(server_end), net::kDefaultMaxPayload,
                        /*max_outbox=*/64);
   int submits = 0;
-  const net::Session::SubmitFn submit = [&](net::Session&, std::uint32_t,
-                                            te::TrafficMatrix&&, net::ShedReason&) {
-    ++submits;
-    return true;
-  };
+  const net::Session::SubmitFn submit =
+      [&](net::Session&, std::uint32_t, const std::string&, te::TrafficMatrix&&,
+          net::ShedReason&, int&) {
+        ++submits;
+        return net::SubmitOutcome::kAccepted;
+      };
 
   std::vector<std::uint8_t> bytes;
   for (std::uint32_t i = 0; i < 32; ++i) net::encode_ping(bytes, i);

@@ -10,6 +10,15 @@
 //
 //   ./build/teal_serve --topo B4 --port 7419 &
 //   ./build/teal_slap --topo B4 --port 7419 --rps 400 --connections 8 --duration 5
+//
+// Fleet mode: repeat --tenant name=topo[:weight] to split the aggregate rate
+// across a teal_serve fleet's tenants (weights are relative shares of --rps;
+// the topo regenerates that tenant's matrices so demand counts match). The
+// summary then adds a per-tenant breakdown, each line obeying the same
+// ledger invariant as the total: offered == responses + shed + errors +
+// dropped.
+//
+//   ./build/teal_slap --port 7419 --rps 400 --tenant us=B4:3 --tenant eu=SWAN:1
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -24,8 +33,43 @@ namespace {
 [[noreturn]] void usage() {
   std::fprintf(stderr,
                "usage: teal_slap [--host H] [--port N] [--topo B4|SWAN|UsCarrier|Kdl|ASN]\n"
-               "                 [--rps R] [--connections N] [--duration SEC] [--grace SEC]\n");
+               "                 [--rps R] [--connections N] [--duration SEC] [--grace SEC]\n"
+               "                 [--tenant NAME=TOPO[:WEIGHT]]...  (fleet mode)\n");
   std::exit(2);
+}
+
+struct TenantArg {
+  std::string name;
+  std::string topo;
+  double weight = 1.0;
+};
+
+// Parses "name=topo" or "name=topo:weight" (same syntax as teal_serve).
+TenantArg parse_tenant(const char* arg) {
+  TenantArg t;
+  const std::string s(arg);
+  const auto eq = s.find('=');
+  if (eq == std::string::npos || eq == 0) usage();
+  t.name = s.substr(0, eq);
+  std::string rest = s.substr(eq + 1);
+  const auto colon = rest.find(':');
+  if (colon != std::string::npos) {
+    t.weight = std::atof(rest.substr(colon + 1).c_str());
+    if (t.weight <= 0.0) usage();
+    rest = rest.substr(0, colon);
+  }
+  if (rest.empty()) usage();
+  t.topo = rest;
+  return t;
+}
+
+std::vector<teal::te::TrafficMatrix> load_requests(const std::string& topo) {
+  auto inst = teal::bench::make_instance(topo);
+  std::vector<teal::te::TrafficMatrix> requests;
+  for (int i = 0; i < inst->split.test.size(); ++i) {
+    requests.push_back(inst->split.test.at(i));
+  }
+  return requests;
 }
 
 }  // namespace
@@ -33,6 +77,7 @@ namespace {
 int main(int argc, char** argv) {
   using namespace teal;
   std::string topo = "B4";
+  std::vector<TenantArg> tenant_args;
   net::SlapConfig cfg;
   cfg.port = 7419;
   for (int i = 1; i < argc; ++i) {
@@ -56,23 +101,41 @@ int main(int argc, char** argv) {
       cfg.duration_seconds = std::atof(argv[i]);
     } else if (want("--grace")) {
       cfg.drain_grace_seconds = std::atof(argv[i]);
+    } else if (want("--tenant")) {
+      tenant_args.push_back(parse_tenant(argv[i]));
     } else {
       usage();
     }
   }
   if (cfg.port == 0 || cfg.connections <= 0 || cfg.target_rps <= 0.0) usage();
 
-  auto inst = bench::make_instance(topo);
-  std::vector<te::TrafficMatrix> requests;
-  for (int i = 0; i < inst->split.test.size(); ++i) {
-    requests.push_back(inst->split.test.at(i));
+  std::vector<net::SlapWorkload> workloads;
+  if (tenant_args.empty()) {
+    net::SlapWorkload w;
+    w.requests = load_requests(topo);
+    workloads.push_back(std::move(w));
+    std::printf("teal_slap: %s -> %s:%u, %.1f req/s over %d connections for %.1fs\n",
+                topo.c_str(), cfg.host.c_str(), cfg.port, cfg.target_rps, cfg.connections,
+                cfg.duration_seconds);
+  } else {
+    for (const TenantArg& ta : tenant_args) {
+      net::SlapWorkload w;
+      w.tenant = ta.name;
+      w.weight = ta.weight;
+      w.requests = load_requests(ta.topo);
+      workloads.push_back(std::move(w));
+    }
+    std::printf("teal_slap: %zu tenants -> %s:%u, %.1f req/s over %d connections for %.1fs\n",
+                workloads.size(), cfg.host.c_str(), cfg.port, cfg.target_rps,
+                cfg.connections, cfg.duration_seconds);
+    for (const TenantArg& ta : tenant_args) {
+      std::printf("  tenant %-12s %s, weight %.1f\n", ta.name.c_str(), ta.topo.c_str(),
+                  ta.weight);
+    }
   }
-  std::printf("teal_slap: %s -> %s:%u, %.1f req/s over %d connections for %.1fs\n",
-              topo.c_str(), cfg.host.c_str(), cfg.port, cfg.target_rps, cfg.connections,
-              cfg.duration_seconds);
   std::fflush(stdout);
 
-  auto stats = net::run_slap(cfg, requests);
+  auto stats = net::run_slap(cfg, workloads);
   if (stats.offered == 0) {
     std::fprintf(stderr, "teal_slap: nothing sent (connect failed or zero schedule)\n");
     return 1;
@@ -89,6 +152,22 @@ int main(int argc, char** argv) {
     std::printf("  latency   p50 %.3f ms   p90 %.3f ms   p99 %.3f ms   max %.3f ms\n",
                 stats.latency.percentile(50.0) * 1e3, stats.latency.percentile(90.0) * 1e3,
                 stats.latency.percentile(99.0) * 1e3, stats.latency.max_seconds() * 1e3);
+  }
+  if (stats.tenants.size() > 1) {
+    for (const auto& ts : stats.tenants) {
+      std::printf("  tenant %-12s offered %llu = responses %llu + shed %llu + "
+                  "errors %llu + dropped %llu",
+                  ts.tenant.c_str(), static_cast<unsigned long long>(ts.offered),
+                  static_cast<unsigned long long>(ts.responses),
+                  static_cast<unsigned long long>(ts.shed),
+                  static_cast<unsigned long long>(ts.errors),
+                  static_cast<unsigned long long>(ts.dropped));
+      if (ts.latency.count() > 0) {
+        std::printf("   p50 %.3f ms   p99 %.3f ms", ts.latency.percentile(50.0) * 1e3,
+                    ts.latency.percentile(99.0) * 1e3);
+      }
+      std::printf("\n");
+    }
   }
   return stats.errors == 0 ? 0 : 1;
 }
