@@ -24,7 +24,14 @@ TopoScale default_scale(const std::string& topo) {
   if (topo == "UsCarrier") return {3000, 50, 72.0};
   if (topo == "Kdl") return {3000, 40, 72.0};
   if (topo == "ASN") return {6000, 40, 72.0};
-  throw std::invalid_argument("default_scale: unknown topology " + topo);
+  // Scales are tuned per bundled topology; inventing one for an unknown (or
+  // generated) name would silently mis-cost every downstream knob. Generated
+  // topologies go through src/scenario/ (bench_scenario_matrix), which sizes
+  // its own instances.
+  throw std::invalid_argument(
+      "default_scale: unknown topology '" + topo +
+      "' (bundled: B4, SWAN, UsCarrier, Kdl, ASN; generated topologies are "
+      "driven by bench_scenario_matrix, not the figure benches)");
 }
 
 std::unique_ptr<Instance> make_instance(const std::string& topo, std::uint64_t seed) {

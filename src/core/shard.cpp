@@ -1,5 +1,8 @@
 #include "core/shard.h"
 
+#include <stdexcept>
+#include <string>
+
 namespace teal::core {
 
 ShardPlan ShardPlan::make(int n_items, int n_shards) {
@@ -19,6 +22,16 @@ ShardPlan ShardPlan::make(int n_items, int n_shards) {
 }
 
 int auto_shard_count(int n_demands, int total_paths, std::size_t available_threads) {
+  // Negative counts are the int-overflow signature of an uncapped generated
+  // problem (te::Problem guards its own id space, but callers may pass raw
+  // sizes). Mis-costing silently would disable or misshape sharding exactly
+  // on the largest problems, where it matters most — fail loudly instead.
+  if (n_demands < 0 || total_paths < 0) {
+    throw std::invalid_argument(
+        "auto_shard_count: negative n_demands/total_paths (" +
+        std::to_string(n_demands) + ", " + std::to_string(total_paths) +
+        ") — int overflow in the caller's problem sizing");
+  }
   if (available_threads <= 1 || n_demands <= 1) return 1;
   // Each sharded stage pays one fork-join barrier (~µs); per-path arithmetic
   // is the work unit that must amortize it. 256 paths/shard keeps the

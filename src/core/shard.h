@@ -68,7 +68,9 @@ struct alignas(64) ShardStat {
 // available to a new fork-join region from this thread
 // (util::ThreadPool::available_parallelism(), which is 1 when the caller
 // already holds a pool slot — so nested auto-sharded solves degrade to
-// sequential instead of oversubscribing).
+// sequential instead of oversubscribing). Negative inputs — the overflow
+// signature of an uncapped generated problem — throw std::invalid_argument
+// instead of silently mis-costing.
 int auto_shard_count(int n_demands, int total_paths, std::size_t available_threads);
 
 // Convenience: cost model against the calling thread's current context.

@@ -1,5 +1,6 @@
 #include "te/problem.h"
 
+#include <limits>
 #include <mutex>
 #include <numeric>
 #include <stdexcept>
@@ -15,6 +16,18 @@ double TrafficMatrix::total() const {
 Problem::Problem(topo::Graph g, std::vector<Demand> demands, int k_paths)
     : graph_(std::move(g)), k_paths_(k_paths) {
   if (k_paths <= 0) throw std::invalid_argument("Problem: k_paths must be positive");
+  // The global path id space is int-indexed (path_begin/path_end and every
+  // solver's flattened arrays). A generated graph at 10x-ASN scale with an
+  // unbounded demand set could overflow it; fail loudly up front instead of
+  // silently wrapping ids after the expensive path precomputation.
+  const long long max_paths =
+      static_cast<long long>(demands.size()) * static_cast<long long>(k_paths);
+  if (max_paths > static_cast<long long>(std::numeric_limits<int>::max())) {
+    throw std::invalid_argument(
+        "Problem: demands * k_paths = " + std::to_string(max_paths) +
+        " exceeds the int path-id space; cap the demand sample "
+        "(traffic::sample_demands) or lower k_paths");
+  }
 
   // Yen's algorithm per demand, parallelized (path precomputation is a
   // one-time cost excluded from the computation-time metric, §5.1).

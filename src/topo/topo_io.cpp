@@ -30,7 +30,17 @@ Graph load_topology(std::istream& in, const std::string& name) {
   bool have_nodes = false;
   while (std::getline(in, line)) {
     ++line_no;
-    if (line.empty() || line[0] == '#') continue;
+    if (line.empty() || line[0] == '#') {
+      // The writer records the graph name as the "# topology <name>" header;
+      // honor it unless the caller supplied an explicit name, so that
+      // save -> load -> save is a byte-identical fixpoint (scenario export:
+      // generated topologies must survive the round trip for offline repro).
+      constexpr const char* kHeader = "# topology ";
+      if (name == "loaded" && line.rfind(kHeader, 0) == 0) {
+        g.set_name(line.substr(std::string(kHeader).size()));
+      }
+      continue;
+    }
     std::istringstream ss(line);
     std::string kind;
     ss >> kind;
@@ -67,8 +77,14 @@ Graph load_topology(std::istream& in, const std::string& name) {
 Graph load_topology_file(const std::string& path) {
   std::ifstream f(path);
   if (!f) throw std::runtime_error("load_topology_file: cannot open " + path);
-  auto slash = path.find_last_of('/');
-  return load_topology(f, slash == std::string::npos ? path : path.substr(slash + 1));
+  // Prefer the file's own "# topology" header; fall back to the filename for
+  // hand-written files without one.
+  Graph g = load_topology(f, "loaded");
+  if (g.name() == "loaded") {
+    auto slash = path.find_last_of('/');
+    g.set_name(slash == std::string::npos ? path : path.substr(slash + 1));
+  }
+  return g;
 }
 
 }  // namespace teal::topo

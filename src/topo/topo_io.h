@@ -9,8 +9,11 @@
 //   nodes <N>
 //   edge <src> <dst> <capacity> <latency>
 //
-// Edges are directed; use two lines for a bidirectional link. save/load round
-// trips exactly (modulo float formatting at 17 significant digits).
+// Edges are directed; use two lines for a bidirectional link. save/load
+// round-trips byte-identically: 17 significant digits reproduce every double
+// bit-exactly, and the "# topology <name>" header carries the graph name, so
+// save -> load -> save is a fixpoint (tests/scenario_test.cpp pins this for
+// generated topologies — the offline-repro export path).
 #pragma once
 
 #include <iosfwd>
