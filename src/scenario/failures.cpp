@@ -77,21 +77,26 @@ std::vector<FailureEvent> make_rolling_failures(const topo::Graph& g, int n_inte
 }
 
 FailureState::FailureState(const topo::Graph& g, std::vector<FailureEvent> events)
-    : g_(&g), events_(std::move(events)) {
+    : events_(std::move(events)) {
   if (!std::is_sorted(events_.begin(), events_.end(),
                       [](const FailureEvent& a, const FailureEvent& b) {
                         return a.interval < b.interval;
                       })) {
     throw std::invalid_argument("FailureState: events must be sorted by interval");
   }
+  // Snapshot the capacities now: the caller is free to mutate the graph
+  // between queries (run_scenario writes each epoch's capacities — zeros for
+  // failed links included — back into the live graph), and a repair must
+  // restore the pre-failure value, not whatever the graph holds by then.
+  orig_.resize(static_cast<std::size_t>(g.num_edges()));
+  for (topo::EdgeId e = 0; e < g.num_edges(); ++e) {
+    orig_[static_cast<std::size_t>(e)] = g.edge(e).capacity;
+  }
   reset();
 }
 
 void FailureState::reset() {
-  caps_.resize(static_cast<std::size_t>(g_->num_edges()));
-  for (topo::EdgeId e = 0; e < g_->num_edges(); ++e) {
-    caps_[static_cast<std::size_t>(e)] = g_->edge(e).capacity;
-  }
+  caps_ = orig_;
   next_ = 0;
   cursor_ = -1;
   failed_ = 0;
@@ -101,10 +106,10 @@ const std::vector<double>& FailureState::capacities_at(int t) {
   if (t < cursor_) reset();
   while (next_ < events_.size() && events_[next_].interval <= t) {
     const FailureEvent& ev = events_[next_];
-    const double fwd_cap = ev.fail ? 0.0 : g_->edge(ev.fwd).capacity;
-    const double rev_cap = ev.fail ? 0.0 : g_->edge(ev.rev).capacity;
-    caps_[static_cast<std::size_t>(ev.fwd)] = fwd_cap;
-    caps_[static_cast<std::size_t>(ev.rev)] = rev_cap;
+    caps_[static_cast<std::size_t>(ev.fwd)] =
+        ev.fail ? 0.0 : orig_[static_cast<std::size_t>(ev.fwd)];
+    caps_[static_cast<std::size_t>(ev.rev)] =
+        ev.fail ? 0.0 : orig_[static_cast<std::size_t>(ev.rev)];
     failed_ += ev.fail ? 1 : -1;
     ++next_;
   }

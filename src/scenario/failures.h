@@ -47,7 +47,10 @@ std::vector<FailureEvent> make_rolling_failures(const topo::Graph& g, int n_inte
 // Applies a schedule to a capacity vector between solves. capacities_at(t)
 // returns the vector with every event of interval <= t applied; calling with
 // decreasing t replays from scratch (the schedule is cheap), so the state is
-// usable for both forward sweeps and random access.
+// usable for both forward sweeps and random access. Capacities are
+// snapshotted at construction: repairs restore the construction-time value
+// even when the caller writes epoch capacities (zeros included) back into
+// the live graph between queries, as run_scenario does.
 class FailureState {
  public:
   FailureState(const topo::Graph& g, std::vector<FailureEvent> events);
@@ -58,8 +61,8 @@ class FailureState {
  private:
   void reset();
 
-  const topo::Graph* g_;
   std::vector<FailureEvent> events_;
+  std::vector<double> orig_;  // capacities at construction time
   std::vector<double> caps_;
   std::size_t next_ = 0;
   int cursor_ = -1;  // last interval applied

@@ -82,8 +82,10 @@ Scenario build_scenario(const ScenarioSpec& spec) {
     traffic::calibrate_capacities(pb, trace, spec.calibrate_util);
   }
 
-  // The failure schedule is built *after* calibration so repairs restore the
-  // calibrated capacities (FailureState reads the graph at application time).
+  // The schedule only encodes link identities and timing; capacities come
+  // from the FailureState snapshot, which run_scenario takes from the
+  // (calibrated) graph before the first epoch, so repairs restore the
+  // calibrated values.
   std::vector<FailureEvent> failures;
   if (spec.failures.has_value()) {
     failures = make_rolling_failures(pb.graph(), trace.size(), *spec.failures);

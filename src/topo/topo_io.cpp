@@ -23,21 +23,27 @@ void save_topology_file(const Graph& g, const std::string& path) {
   save_topology(g, f);
 }
 
-Graph load_topology(std::istream& in, const std::string& name) {
-  Graph g(name);
+namespace {
+
+// Core loader. With a null `explicit_name` the "# topology <name>" header
+// written by save_topology names the graph (so save -> load -> save is a
+// byte-identical fixpoint — scenario export for offline repro); otherwise
+// the explicit name wins and the header is ignored. `used_header`, when
+// non-null, reports whether a header was seen.
+Graph load_topology_impl(std::istream& in, const std::string* explicit_name,
+                         bool* used_header) {
+  Graph g(explicit_name ? *explicit_name : "topology");
+  if (used_header) *used_header = false;
   std::string line;
   int line_no = 0;
   bool have_nodes = false;
   while (std::getline(in, line)) {
     ++line_no;
     if (line.empty() || line[0] == '#') {
-      // The writer records the graph name as the "# topology <name>" header;
-      // honor it unless the caller supplied an explicit name, so that
-      // save -> load -> save is a byte-identical fixpoint (scenario export:
-      // generated topologies must survive the round trip for offline repro).
-      constexpr const char* kHeader = "# topology ";
-      if (name == "loaded" && line.rfind(kHeader, 0) == 0) {
-        g.set_name(line.substr(std::string(kHeader).size()));
+      const std::string kHeader = "# topology ";
+      if (explicit_name == nullptr && line.rfind(kHeader, 0) == 0) {
+        g.set_name(line.substr(kHeader.size()));
+        if (used_header) *used_header = true;
       }
       continue;
     }
@@ -74,13 +80,22 @@ Graph load_topology(std::istream& in, const std::string& name) {
   return g;
 }
 
+}  // namespace
+
+Graph load_topology(std::istream& in) {
+  return load_topology_impl(in, nullptr, nullptr);
+}
+
+Graph load_topology(std::istream& in, const std::string& name) {
+  return load_topology_impl(in, &name, nullptr);
+}
+
 Graph load_topology_file(const std::string& path) {
   std::ifstream f(path);
   if (!f) throw std::runtime_error("load_topology_file: cannot open " + path);
-  // Prefer the file's own "# topology" header; fall back to the filename for
-  // hand-written files without one.
-  Graph g = load_topology(f, "loaded");
-  if (g.name() == "loaded") {
+  bool used_header = false;
+  Graph g = load_topology_impl(f, nullptr, &used_header);
+  if (!used_header) {
     auto slash = path.find_last_of('/');
     g.set_name(slash == std::string::npos ? path : path.substr(slash + 1));
   }

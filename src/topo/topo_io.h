@@ -26,7 +26,14 @@ namespace teal::topo {
 void save_topology(const Graph& g, std::ostream& out);
 void save_topology_file(const Graph& g, const std::string& path);
 
-Graph load_topology(std::istream& in, const std::string& name = "loaded");
+// One-argument overload: the graph is named by the file's "# topology"
+// header, falling back to "topology" if no header is present. Two-argument
+// overload: `name` names the graph and any header is ignored — an explicit
+// name always wins, whatever it is.
+Graph load_topology(std::istream& in);
+Graph load_topology(std::istream& in, const std::string& name);
+// Names the graph from the header; falls back to the file's basename for
+// hand-written files without one.
 Graph load_topology_file(const std::string& path);
 
 }  // namespace teal::topo
